@@ -1,0 +1,383 @@
+// Package camps is a from-scratch reproduction of "CAMPS: Conflict-Aware
+// Memory-Side Prefetching Scheme for Hybrid Memory Cube" (Rafique & Zhu,
+// ICPP 2018): a cycle-approximate simulator of an 8-core processor with a
+// three-level cache hierarchy in front of a 32-vault HMC whose vault
+// controllers host memory-side prefetch engines and per-vault prefetch
+// buffers.
+//
+// The package is the public API over the internal substrates: configure a
+// run with RunConfig, execute it with Run, and read the paper's metrics
+// from Results. The five prefetching schemes of the paper's evaluation
+// (BASE, BASE-HIT, MMD, CAMPS, CAMPS-MOD) are selected per run.
+//
+// Quick start:
+//
+//	mix, _ := camps.MixByID("HM1")
+//	res, err := camps.Run(camps.RunConfig{
+//		Scheme: camps.CAMPSMOD,
+//		Mix:    mix,
+//	})
+//	fmt.Println(res.GeoMeanIPC, res.RowConflictRate)
+package camps
+
+import (
+	"fmt"
+
+	"camps/internal/cache"
+	"camps/internal/config"
+	"camps/internal/cpu"
+	"camps/internal/energy"
+	"camps/internal/hmc"
+	"camps/internal/pfbuffer"
+	"camps/internal/prefetch"
+	"camps/internal/sim"
+	"camps/internal/stats"
+	"camps/internal/trace"
+	"camps/internal/vault"
+	"camps/internal/workload"
+)
+
+// Scheme identifies a memory-side prefetching scheme.
+type Scheme = prefetch.Scheme
+
+// The five schemes evaluated in the paper, plus the no-prefetch reference.
+const (
+	BASE     = prefetch.Base
+	BASEHIT  = prefetch.BaseHit
+	MMD      = prefetch.MMD
+	CAMPS    = prefetch.CAMPS
+	CAMPSMOD = prefetch.CAMPSMOD
+	NONE     = prefetch.None
+	ASD      = prefetch.ASD
+)
+
+// Schemes returns the paper's five schemes in presentation order.
+func Schemes() []Scheme { return prefetch.Schemes() }
+
+// AllSchemes additionally includes the NONE (no prefetching) reference.
+func AllSchemes() []Scheme { return prefetch.AllSchemes() }
+
+// Hardware policy knobs, re-exported for ablation studies; see the config
+// package for semantics.
+type (
+	// PagePolicy selects open-page (the paper's) or closed-page rows.
+	PagePolicy = config.PagePolicy
+	// SchedPolicy selects FR-FCFS (the paper's) or FCFS scheduling.
+	SchedPolicy = config.SchedPolicy
+	// AddressInterleave selects the physical address mapping.
+	AddressInterleave = config.AddressInterleave
+)
+
+// ParseScheme converts a scheme name ("BASE", "CAMPS-MOD", ...) to a value.
+func ParseScheme(name string) (Scheme, error) { return prefetch.ParseScheme(name) }
+
+// SystemConfig is the simulated-system configuration (Table I defaults).
+type SystemConfig = config.Config
+
+// DefaultSystem returns the Table I configuration.
+func DefaultSystem() SystemConfig { return config.Default() }
+
+// Mix is one multiprogrammed workload (Table II).
+type Mix = workload.Mix
+
+// Mixes returns the twelve Table II mixes.
+func Mixes() []Mix { return workload.Mixes() }
+
+// MixByID returns a mix by its Table II identifier (e.g. "HM1").
+func MixByID(id string) (Mix, error) { return workload.MixByID(id) }
+
+// ExtensionMixes returns the datacenter-style mixes (DC1, DC2) beyond the
+// paper's Table II set.
+func ExtensionMixes() []Mix { return workload.ExtensionMixes() }
+
+// AnyMixByID resolves both Table II and extension mix identifiers.
+func AnyMixByID(id string) (Mix, error) { return workload.AnyMixByID(id) }
+
+// RunConfig describes one simulation run.
+type RunConfig struct {
+	// System is the hardware configuration; zero value means Table I.
+	System SystemConfig
+	// Scheme is the prefetching scheme under test.
+	Scheme Scheme
+	// Mix selects the workload. Exactly one of Mix or Readers is used:
+	// Readers, when non-nil, supplies one trace per core directly.
+	Mix     Mix
+	Readers []trace.Reader
+	// Seed decorrelates synthetic traces across runs (default 1).
+	Seed uint64
+	// WarmupRefs is the number of per-core references run through the
+	// caches functionally before timing starts (default 30000), the
+	// analogue of the paper's fast-forward + cache warmup.
+	WarmupRefs uint64
+	// MeasureInstr is the per-core instruction budget of the measured
+	// region (default 400000), the analogue of the paper's 800M detailed
+	// instructions, scaled to synthetic-trace size.
+	MeasureInstr uint64
+	// Energy is the energy model; zero value means the default model.
+	Energy energy.Model
+}
+
+func (rc *RunConfig) applyDefaults() {
+	if rc.System.Processor.Cores == 0 {
+		rc.System = config.Default()
+	}
+	if rc.Seed == 0 {
+		rc.Seed = 1
+	}
+	if rc.WarmupRefs == 0 {
+		rc.WarmupRefs = 50_000
+	}
+	if rc.MeasureInstr == 0 {
+		rc.MeasureInstr = 400_000
+	}
+	if rc.Energy == (energy.Model{}) {
+		rc.Energy = energy.Default()
+	}
+}
+
+// Results carries every metric the paper's figures use.
+type Results struct {
+	Mix    string
+	Scheme Scheme
+
+	// Performance (Figure 5 inputs).
+	IPC        []float64 // per core
+	GeoMeanIPC float64
+	MPKI       []float64 // per core, L3 misses per kilo-instruction
+
+	// Row-buffer behaviour (Figure 6).
+	RowHits         uint64
+	RowMisses       uint64
+	RowConflicts    uint64
+	RowConflictRate float64 // conflicts / demand bank accesses
+
+	// Prefetching (Figure 7).
+	PrefetchesIssued uint64
+	PrefetchAccuracy float64 // fraction of prefetched rows referenced
+	LineAccuracy     float64 // fraction of prefetched lines referenced
+	BufferHitRate    float64 // demand requests served by the buffer
+	// PrefetchTimeliness is the mean delay from a row's insertion to its
+	// first demand hit, picoseconds (§2.3's "when to prefetch" measured).
+	PrefetchTimeliness float64
+
+	// Latency (Figure 8): mean main-memory read latency in picoseconds,
+	// measured from L3-miss issue to data return at the HMC controller,
+	// plus distribution quantiles (5 ns resolution).
+	AMATps    float64
+	AMATp50ps float64
+	AMATp95ps float64
+	AMATp99ps float64
+
+	// Energy (Figure 9).
+	Energy energy.Breakdown
+
+	// Bookkeeping.
+	ElapsedSim    sim.Time
+	Instructions  uint64
+	MemReads      uint64
+	MemWrites     uint64
+	MSHRCoalesced uint64 // misses merged into an outstanding line fetch
+	MSHRStalls    uint64 // misses that waited for a free MSHR entry
+	VaultStats    vault.Stats
+	BufferStats   pfbuffer.Stats
+
+	// PerVault carries each vault's demand/conflict/buffer counters for
+	// load-imbalance analysis (index = vault id).
+	PerVault []VaultSummary
+
+	// Caches summarizes hierarchy behaviour (includes warmup accesses).
+	Caches CacheSummary
+}
+
+// VaultSummary is one vault's headline counters.
+type VaultSummary struct {
+	Demand     uint64
+	BufferHits uint64
+	Conflicts  uint64
+	Fetches    uint64
+	Refreshes  uint64
+}
+
+// CacheSummary aggregates the cache hierarchy's behaviour over the run.
+type CacheSummary struct {
+	L1Hits, L1Misses uint64 // across all private L1s
+	L2Hits, L2Misses uint64 // across all private L2s
+	L3Hits, L3Misses uint64
+}
+
+// HitRate returns hits/(hits+misses), or 0 with no accesses.
+func hitRate(h, m uint64) float64 {
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// L1HitRate returns the aggregate L1 hit rate.
+func (c CacheSummary) L1HitRate() float64 { return hitRate(c.L1Hits, c.L1Misses) }
+
+// L2HitRate returns the aggregate L2 hit rate (of L1 misses).
+func (c CacheSummary) L2HitRate() float64 { return hitRate(c.L2Hits, c.L2Misses) }
+
+// L3HitRate returns the shared L3 hit rate (of L2 misses).
+func (c CacheSummary) L3HitRate() float64 { return hitRate(c.L3Hits, c.L3Misses) }
+
+// cubeMemory adapts the HMC cube to the cores' Memory interface.
+type cubeMemory struct {
+	cube *hmc.Cube
+}
+
+func (m cubeMemory) ReadLine(addr uint64, done func(at sim.Time)) {
+	m.cube.Access(hmc.Address(addr), false, done)
+}
+
+func (m cubeMemory) WriteLine(addr uint64) {
+	m.cube.Access(hmc.Address(addr), true, nil)
+}
+
+// Run executes one simulation and returns its measurements.
+func Run(rc RunConfig) (Results, error) {
+	rc.applyDefaults()
+	if err := rc.System.Validate(); err != nil {
+		return Results{}, fmt.Errorf("camps: %w", err)
+	}
+
+	cores := rc.System.Processor.Cores
+	readers := rc.Readers
+	if readers == nil {
+		if len(rc.Mix.Benchmarks) != cores {
+			return Results{}, fmt.Errorf("camps: mix %q has %d benchmarks, system has %d cores",
+				rc.Mix.ID, len(rc.Mix.Benchmarks), cores)
+		}
+		gens, err := rc.Mix.Generators(rc.Seed)
+		if err != nil {
+			return Results{}, err
+		}
+		readers = make([]trace.Reader, len(gens))
+		for i, g := range gens {
+			readers[i] = g
+		}
+	} else if len(readers) != cores {
+		return Results{}, fmt.Errorf("camps: %d readers for %d cores", len(readers), cores)
+	}
+
+	eng := sim.NewEngine()
+	cube := hmc.NewCube(eng, rc.System, rc.Scheme)
+	hier := cache.NewHierarchy(rc.System)
+	// The shared L3 MSHR file sits between the cores and the cube: it
+	// coalesces concurrent misses to one line and bounds distinct
+	// outstanding fetches.
+	mshrs := cache.NewMSHRFile(eng, cubeMemory{cube: cube}, rc.System.L3.MSHRs)
+	var mem cpu.Memory = mshrs
+
+	// Functional cache warmup: consume WarmupRefs records per core through
+	// the hierarchy with no timing, discarding memory traffic.
+	for core := 0; core < cores; core++ {
+		for i := uint64(0); i < rc.WarmupRefs; i++ {
+			rec, err := readers[core].Next()
+			if err != nil {
+				break // finite reader exhausted: measured region sees EOF
+			}
+			hier.Access(core, rec.Addr, rec.Write)
+		}
+	}
+	l3Base := make([]uint64, cores)
+	for core := 0; core < cores; core++ {
+		l3Base[core] = hier.L3Misses(core)
+	}
+
+	remaining := cores
+	onFinish := func(int) {
+		remaining--
+		if remaining == 0 {
+			eng.Halt()
+		}
+	}
+	cpus := make([]*cpu.Core, cores)
+	for core := 0; core < cores; core++ {
+		cpus[core] = cpu.NewCore(eng, rc.System, core, readers[core], hier, mem,
+			rc.MeasureInstr, onFinish)
+	}
+	for _, c := range cpus {
+		c.Start()
+	}
+	eng.Run()
+
+	res := Results{
+		Mix:        rc.Mix.ID,
+		Scheme:     rc.Scheme,
+		ElapsedSim: eng.Now(),
+	}
+	for core, c := range cpus {
+		if err := c.Err(); err != nil {
+			return Results{}, err
+		}
+		if !c.Finished() {
+			return Results{}, fmt.Errorf("camps: core %d never completed its measured region", core)
+		}
+		res.IPC = append(res.IPC, c.IPC())
+		instr := c.Instructions()
+		res.Instructions += instr
+		res.MemReads += c.MemReads()
+		res.MemWrites += c.MemWrites()
+		misses := hier.L3Misses(core) - l3Base[core]
+		res.MPKI = append(res.MPKI, float64(misses)/float64(instr)*1000)
+	}
+	res.GeoMeanIPC = stats.GeoMean(res.IPC)
+
+	cube.Flush()
+	vs := cube.VaultStats()
+	res.VaultStats = vs
+	for i := 0; i < cube.Vaults(); i++ {
+		s := cube.Vault(i).Stats()
+		res.PerVault = append(res.PerVault, VaultSummary{
+			Demand:     s.DemandReads.Value() + s.DemandWrites.Value(),
+			BufferHits: s.BufferHits.Value(),
+			Conflicts:  s.RowConflicts.Value(),
+			Fetches:    s.FetchesIssued.Value(),
+			Refreshes:  s.Refreshes.Value(),
+		})
+	}
+	res.RowHits = vs.RowHits.Value()
+	res.RowMisses = vs.RowMisses.Value()
+	res.RowConflicts = vs.RowConflicts.Value()
+	res.RowConflictRate = vs.ConflictRate()
+	res.PrefetchesIssued = vs.FetchesIssued.Value()
+
+	bs := cube.BufferStats()
+	res.BufferStats = bs
+	res.PrefetchAccuracy = bs.RowAccuracy()
+	res.LineAccuracy = bs.LineAccuracy(rc.System.LinesPerRow())
+	res.PrefetchTimeliness = bs.FirstUseDelay.Mean()
+	if demand := vs.BufferHits.Value() + vs.BufferMisses.Value(); demand > 0 {
+		res.BufferHitRate = float64(vs.BufferHits.Value()) / float64(demand)
+	}
+
+	res.MSHRCoalesced = mshrs.Coalesced()
+	res.MSHRStalls = mshrs.Stalls()
+	for core := 0; core < cores; core++ {
+		res.Caches.L1Hits += hier.L1(core).Hits()
+		res.Caches.L1Misses += hier.L1(core).Misses()
+		res.Caches.L2Hits += hier.L2(core).Hits()
+		res.Caches.L2Misses += hier.L2(core).Misses()
+	}
+	res.Caches.L3Hits = hier.L3().Hits()
+	res.Caches.L3Misses = hier.L3().Misses()
+
+	res.AMATps = cube.ReadAMAT().Mean()
+	res.AMATp50ps = cube.ReadLatencyQuantile(0.50)
+	res.AMATp95ps = cube.ReadLatencyQuantile(0.95)
+	res.AMATp99ps = cube.ReadLatencyQuantile(0.99)
+
+	var linkBytes uint64
+	var linkSlept sim.Time
+	for _, ls := range cube.LinkStats() {
+		linkBytes += ls.ReqBytes + ls.RespBytes
+		linkSlept += ls.ReqSlept + ls.RespSlept
+	}
+	// Each link has two directions; awake time = total direction-time
+	// minus time spent in the low-power state.
+	linkAwake := eng.Now()*sim.Time(2*rc.System.Links.Count) - linkSlept
+	res.Energy = rc.Energy.Estimate(vs.BankOps, vs.BufferHits.Value(), linkBytes, linkAwake, eng.Now())
+	return res, nil
+}

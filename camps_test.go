@@ -1,0 +1,341 @@
+package camps_test
+
+import (
+	"math"
+	"testing"
+
+	"camps"
+	"camps/internal/trace"
+)
+
+// quick returns a RunConfig scaled for test speed.
+func quick(mixID string, s camps.Scheme) camps.RunConfig {
+	mix, err := camps.MixByID(mixID)
+	if err != nil {
+		panic(err)
+	}
+	return camps.RunConfig{
+		Scheme:       s,
+		Mix:          mix,
+		WarmupRefs:   5_000,
+		MeasureInstr: 60_000,
+	}
+}
+
+func TestRunProducesCompleteResults(t *testing.T) {
+	res, err := camps.Run(quick("MX1", camps.CAMPSMOD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mix != "MX1" || res.Scheme != camps.CAMPSMOD {
+		t.Fatalf("identity fields wrong: %s %v", res.Mix, res.Scheme)
+	}
+	if len(res.IPC) != 8 || len(res.MPKI) != 8 {
+		t.Fatalf("per-core slices: %d IPC, %d MPKI, want 8 each", len(res.IPC), len(res.MPKI))
+	}
+	for core, ipc := range res.IPC {
+		if ipc <= 0 || ipc > 4 {
+			t.Fatalf("core %d IPC = %g outside (0,4]", core, ipc)
+		}
+	}
+	if res.GeoMeanIPC <= 0 {
+		t.Fatal("GeoMeanIPC not positive")
+	}
+	if res.AMATps <= 0 {
+		t.Fatal("AMAT not positive")
+	}
+	if res.MemReads == 0 || res.MemWrites == 0 {
+		t.Fatalf("no memory traffic: reads %d writes %d", res.MemReads, res.MemWrites)
+	}
+	if res.PrefetchesIssued == 0 {
+		t.Fatal("CAMPS-MOD issued no prefetches")
+	}
+	if res.PrefetchAccuracy <= 0 || res.PrefetchAccuracy > 1 {
+		t.Fatalf("accuracy = %g outside (0,1]", res.PrefetchAccuracy)
+	}
+	if res.Energy.Total() <= 0 {
+		t.Fatal("energy not positive")
+	}
+	if res.ElapsedSim <= 0 {
+		t.Fatal("simulated time not positive")
+	}
+	if res.Instructions < 8*60_000 {
+		t.Fatalf("instructions = %d, want >= 480000", res.Instructions)
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	a, err := camps.Run(quick("LM2", camps.CAMPS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := camps.Run(quick("LM2", camps.CAMPS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.GeoMeanIPC != b.GeoMeanIPC || a.AMATps != b.AMATps ||
+		a.RowConflicts != b.RowConflicts || a.PrefetchesIssued != b.PrefetchesIssued {
+		t.Fatalf("same-seed runs differ: %+v vs %+v", a, b)
+	}
+	rc := quick("LM2", camps.CAMPS)
+	rc.Seed = 99
+	c, err := camps.Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.GeoMeanIPC == a.GeoMeanIPC && c.RowConflicts == a.RowConflicts {
+		t.Fatal("different seeds produced identical results")
+	}
+}
+
+func TestBaseSchemeHasNoRowConflicts(t *testing.T) {
+	res, err := camps.Run(quick("LM1", camps.BASE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §5.2: BASE precharges behind every row copy, so conflicts are
+	// (essentially) eliminated. Transient interleavings allow a handful.
+	total := res.RowHits + res.RowMisses + res.RowConflicts
+	if total == 0 {
+		t.Fatal("no bank accesses at all")
+	}
+	if rate := float64(res.RowConflicts) / float64(total); rate > 0.02 {
+		t.Fatalf("BASE conflict rate = %g, want ~0", rate)
+	}
+}
+
+func TestCAMPSBeatsOpenPageSchemesOnConflictTraffic(t *testing.T) {
+	// The headline claim: CAMPS-MOD outperforms BASE-HIT and MMD on a
+	// high-intensity mix, with higher prefetch accuracy than BASE. Run at
+	// a budget large enough for the effect to dominate warmup noise.
+	var ipc [5]float64
+	var acc [5]float64
+	for i, s := range camps.Schemes() {
+		rc := quick("HM1", s)
+		rc.MeasureInstr = 150_000
+		res, err := camps.Run(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ipc[i] = res.GeoMeanIPC
+		acc[i] = res.LineAccuracy
+	}
+	base, baseHit, mmd, campsIPC, mod := ipc[0], ipc[1], ipc[2], ipc[3], ipc[4]
+	if mod <= baseHit {
+		t.Errorf("CAMPS-MOD (%g) should beat BASE-HIT (%g)", mod, baseHit)
+	}
+	if mod <= mmd {
+		t.Errorf("CAMPS-MOD (%g) should beat MMD (%g)", mod, mmd)
+	}
+	if campsIPC <= base {
+		t.Errorf("CAMPS (%g) should beat BASE (%g)", campsIPC, base)
+	}
+	if acc[3] <= acc[0] {
+		t.Errorf("CAMPS accuracy (%g) should exceed BASE accuracy (%g)", acc[3], acc[0])
+	}
+}
+
+func TestHighIntensityMixHasHigherMPKI(t *testing.T) {
+	run := func(mix string) camps.Results {
+		rc := quick(mix, camps.CAMPS)
+		rc.WarmupRefs = 40_000 // LM working sets must be cache-resident
+		res, err := camps.Run(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	hm := run("HM2")
+	lm := run("LM3")
+	hmMean, lmMean := 0.0, 0.0
+	for i := range hm.MPKI {
+		hmMean += hm.MPKI[i] / 8
+		lmMean += lm.MPKI[i] / 8
+	}
+	if hmMean <= 2*lmMean {
+		t.Fatalf("HM MPKI (%g) not clearly above LM MPKI (%g)", hmMean, lmMean)
+	}
+}
+
+func TestRunWithCustomReaders(t *testing.T) {
+	cfg := camps.DefaultSystem()
+	readers := make([]trace.Reader, cfg.Processor.Cores)
+	for core := range readers {
+		recs := make([]trace.Record, 3000)
+		for i := range recs {
+			recs[i] = trace.Record{
+				Gap:  3,
+				Addr: uint64(core)<<32 | uint64(i)*64,
+			}
+		}
+		readers[core] = trace.NewSliceReader(recs)
+	}
+	res, err := camps.Run(camps.RunConfig{
+		Scheme:       camps.BASE,
+		Readers:      readers,
+		WarmupRefs:   100,
+		MeasureInstr: 8_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GeoMeanIPC <= 0 {
+		t.Fatal("custom-reader run produced no IPC")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	// Mismatched reader count.
+	_, err := camps.Run(camps.RunConfig{
+		Scheme:  camps.BASE,
+		Readers: []trace.Reader{trace.NewSliceReader(nil)},
+	})
+	if err == nil {
+		t.Fatal("accepted 1 reader for 8 cores")
+	}
+	// Broken system config.
+	cfg := camps.DefaultSystem()
+	cfg.HMC.Vaults = 3
+	mix, _ := camps.MixByID("HM1")
+	if _, err := camps.Run(camps.RunConfig{System: cfg, Scheme: camps.BASE, Mix: mix}); err == nil {
+		t.Fatal("accepted invalid system config")
+	}
+	// Empty mix and no readers.
+	if _, err := camps.Run(camps.RunConfig{Scheme: camps.BASE}); err == nil {
+		t.Fatal("accepted empty mix")
+	}
+}
+
+func TestSchemesRoundTrip(t *testing.T) {
+	if len(camps.Schemes()) != 5 {
+		t.Fatal("expected 5 schemes")
+	}
+	for _, s := range camps.Schemes() {
+		got, err := camps.ParseScheme(s.String())
+		if err != nil || got != s {
+			t.Fatalf("ParseScheme(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+}
+
+func TestMixAccessors(t *testing.T) {
+	if len(camps.Mixes()) != 12 {
+		t.Fatal("expected 12 mixes")
+	}
+	if _, err := camps.MixByID("HM1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := camps.MixByID("nope"); err == nil {
+		t.Fatal("accepted unknown mix")
+	}
+}
+
+func TestEnergyBreakdownConsistency(t *testing.T) {
+	res, err := camps.Run(quick("MX2", camps.BASE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := res.Energy
+	sum := b.Activate + b.Precharge + b.Read + b.Write + b.RowFetch +
+		b.RowStore + b.Refresh + b.Buffer + b.Link + b.Background
+	if math.Abs(sum-b.Total()) > 1e-6*sum {
+		t.Fatalf("breakdown components (%g) do not sum to total (%g)", sum, b.Total())
+	}
+	if b.RowFetch == 0 {
+		t.Fatal("BASE run recorded no row-fetch energy")
+	}
+	if b.RowStore == 0 {
+		t.Fatal("eviction writebacks recorded no row-store energy")
+	}
+}
+
+func TestExtensionMixesThroughFacade(t *testing.T) {
+	ms := camps.ExtensionMixes()
+	if len(ms) != 2 || ms[0].ID != "DC1" {
+		t.Fatalf("extension mixes = %v", ms)
+	}
+	if _, err := camps.AnyMixByID("DC2"); err != nil {
+		t.Fatal(err)
+	}
+	rc := camps.RunConfig{
+		Scheme:       camps.CAMPSMOD,
+		WarmupRefs:   3_000,
+		MeasureInstr: 40_000,
+	}
+	rc.Mix = ms[0]
+	res, err := camps.Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GeoMeanIPC <= 0 {
+		t.Fatal("DC1 run degenerate")
+	}
+}
+
+func TestLatencyQuantilesOrdered(t *testing.T) {
+	res, err := camps.Run(quick("HM3", camps.MMD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.AMATp50ps <= res.AMATp95ps && res.AMATp95ps <= res.AMATp99ps) {
+		t.Fatalf("quantiles out of order: p50 %g p95 %g p99 %g",
+			res.AMATp50ps, res.AMATp95ps, res.AMATp99ps)
+	}
+	if res.AMATp50ps <= 0 {
+		t.Fatal("p50 not positive")
+	}
+}
+
+func TestPerVaultSummaries(t *testing.T) {
+	res, err := camps.Run(quick("MX2", camps.CAMPS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerVault) != 32 {
+		t.Fatalf("per-vault entries = %d, want 32", len(res.PerVault))
+	}
+	var demand uint64
+	for _, v := range res.PerVault {
+		demand += v.Demand
+	}
+	vs := res.VaultStats
+	if demand != vs.DemandReads.Value()+vs.DemandWrites.Value() {
+		t.Fatalf("per-vault demand %d != aggregate %d",
+			demand, vs.DemandReads.Value()+vs.DemandWrites.Value())
+	}
+}
+
+func TestCacheSummaryRates(t *testing.T) {
+	res, err := camps.Run(quick("LM4", camps.BASE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Caches
+	for name, rate := range map[string]float64{
+		"L1": c.L1HitRate(), "L2": c.L2HitRate(), "L3": c.L3HitRate(),
+	} {
+		if rate < 0 || rate > 1 {
+			t.Fatalf("%s hit rate %g outside [0,1]", name, rate)
+		}
+	}
+	if c.L1Hits == 0 || c.L3Misses == 0 {
+		t.Fatal("cache summary counters empty")
+	}
+}
+
+func TestAllSchemesRunThroughFacade(t *testing.T) {
+	for _, s := range camps.AllSchemes() {
+		rc := quick("LM1", s)
+		rc.MeasureInstr = 25_000
+		res, err := camps.Run(rc)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if res.GeoMeanIPC <= 0 {
+			t.Fatalf("%v produced no IPC", s)
+		}
+		if s == camps.NONE && res.PrefetchesIssued != 0 {
+			t.Fatalf("NONE issued %d prefetches", res.PrefetchesIssued)
+		}
+	}
+}

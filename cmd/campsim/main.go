@@ -1,0 +1,121 @@
+// Command campsim runs one workload mix under one prefetching scheme and
+// prints detailed statistics: per-core IPC and MPKI, row-buffer behaviour,
+// prefetch-buffer effectiveness, AMAT, and the energy breakdown.
+//
+// Usage:
+//
+//	campsim -mix HM1 -scheme CAMPS-MOD [-instr 400000] [-warmup 30000] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"camps"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("campsim: ")
+
+	var (
+		mixID  = flag.String("mix", "HM1", "workload mix (HM1-4, LM1-4, MX1-4, DC1-2)")
+		scheme = flag.String("scheme", "CAMPS-MOD", "prefetching scheme (BASE, BASE-HIT, MMD, CAMPS, CAMPS-MOD, NONE, ASD)")
+		instr  = flag.Uint64("instr", 400_000, "measured instructions per core")
+		warmup = flag.Uint64("warmup", 50_000, "cache-warmup references per core")
+		seed   = flag.Uint64("seed", 1, "trace seed")
+		vaults = flag.Bool("vaults", false, "print the per-vault load table")
+	)
+	flag.Parse()
+
+	mix, err := camps.AnyMixByID(*mixID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := camps.ParseScheme(strings.ToUpper(*scheme))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := camps.Run(camps.RunConfig{
+		Scheme:       s,
+		Mix:          mix,
+		Seed:         *seed,
+		WarmupRefs:   *warmup,
+		MeasureInstr: *instr,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	fmt.Fprintf(w, "mix %s under %v (seed %d, %d instr/core)\n\n", mix.ID, s, *seed, *instr)
+
+	fmt.Fprintln(w, "per-core performance:")
+	for core, ipc := range res.IPC {
+		fmt.Fprintf(w, "  core %d  %-9s IPC %.4f  MPKI %7.2f\n",
+			core, mix.Benchmarks[core], ipc, res.MPKI[core])
+	}
+	fmt.Fprintf(w, "  geomean IPC %.4f\n\n", res.GeoMeanIPC)
+
+	vs := &res.VaultStats
+	demand := vs.BufferHits.Value() + vs.BufferMisses.Value()
+	fmt.Fprintln(w, "memory system:")
+	fmt.Fprintf(w, "  demand requests      %12d (%d reads, %d writes)\n",
+		demand, vs.DemandReads.Value(), vs.DemandWrites.Value())
+	fmt.Fprintf(w, "  prefetch-buffer hits %12d (%.1f%% of demand)\n",
+		vs.BufferHits.Value(), res.BufferHitRate*100)
+	fmt.Fprintf(w, "  row-buffer outcomes  %12d hits / %d misses / %d conflicts\n",
+		res.RowHits, res.RowMisses, res.RowConflicts)
+	fmt.Fprintf(w, "  conflict rate        %12.2f%% of bank accesses\n", res.RowConflictRate*100)
+	fmt.Fprintf(w, "  mean read latency    %12.1f ns (p50 %.0f / p95 %.0f / p99 %.0f)\n",
+		res.AMATps/1000, res.AMATp50ps/1000, res.AMATp95ps/1000, res.AMATp99ps/1000)
+	fmt.Fprintf(w, "  simulated time       %12.3f us\n\n", float64(res.ElapsedSim)/1e6)
+
+	fmt.Fprintln(w, "prefetching:")
+	fmt.Fprintf(w, "  row fetches issued   %12d\n", res.PrefetchesIssued)
+	fmt.Fprintf(w, "  row accuracy         %12.1f%%\n", res.PrefetchAccuracy*100)
+	fmt.Fprintf(w, "  line accuracy        %12.1f%%\n", res.LineAccuracy*100)
+	fmt.Fprintf(w, "  timeliness           %12.1f ns to first use\n", res.PrefetchTimeliness/1000)
+	fmt.Fprintf(w, "  buffer evictions     %12d (%d written back)\n",
+		res.BufferStats.Evictions, vs.RowWritebacks.Value())
+
+	if *vaults {
+		fmt.Fprintln(w, "\nper-vault load:")
+		fmt.Fprintf(w, "  %5s %10s %10s %10s %10s %10s\n",
+			"vault", "demand", "bufHits", "conflicts", "fetches", "refreshes")
+		var maxD, minD uint64
+		for i, v := range res.PerVault {
+			if i == 0 || v.Demand > maxD {
+				maxD = v.Demand
+			}
+			if i == 0 || v.Demand < minD {
+				minD = v.Demand
+			}
+			fmt.Fprintf(w, "  %5d %10d %10d %10d %10d %10d\n",
+				i, v.Demand, v.BufferHits, v.Conflicts, v.Fetches, v.Refreshes)
+		}
+		if minD > 0 {
+			fmt.Fprintf(w, "  demand imbalance (max/min): %.2fx\n", float64(maxD)/float64(minD))
+		}
+	}
+
+	e := res.Energy
+	fmt.Fprintln(w, "\nenergy (mJ):")
+	for _, part := range []struct {
+		name string
+		pj   float64
+	}{
+		{"activate", e.Activate}, {"precharge", e.Precharge},
+		{"read", e.Read}, {"write", e.Write},
+		{"row fetch", e.RowFetch}, {"row store", e.RowStore},
+		{"refresh", e.Refresh}, {"pf buffer", e.Buffer},
+		{"links", e.Link}, {"background", e.Background},
+	} {
+		fmt.Fprintf(w, "  %-10s %10.4f\n", part.name, part.pj/1e9)
+	}
+	fmt.Fprintf(w, "  %-10s %10.4f\n", "total", e.Total()/1e9)
+}

@@ -1,0 +1,117 @@
+// Command campsweep sweeps one configuration knob across a list of values
+// and prints a CSV of the headline metrics for each value — the generic
+// engine behind the ablation studies in DESIGN.md §5.
+//
+// Usage:
+//
+//	campsweep -knob ct -values 8,16,32,64 -mix HM2
+//	campsweep -knob buffer -values 4,8,16,32 -scheme CAMPS-MOD
+//	campsweep -knob threshold -values 1,2,4,8
+//	campsweep -knob window -values 1,2,4,8,16
+//	campsweep -knob tsv -values 0,40,10,2
+//	campsweep -knob vaults -values 8,16,32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"camps"
+)
+
+// knob describes one sweepable configuration dimension.
+type knob struct {
+	help  string
+	apply func(sys *camps.SystemConfig, v int64)
+}
+
+var knobs = map[string]knob{
+	"ct": {"CAMPS conflict-table entries per vault",
+		func(sys *camps.SystemConfig, v int64) { sys.CAMPS.CTEntries = int(v) }},
+	"threshold": {"CAMPS RUT utilization threshold",
+		func(sys *camps.SystemConfig, v int64) { sys.CAMPS.UtilThreshold = int(v) }},
+	"buffer": {"prefetch-buffer entries per vault",
+		func(sys *camps.SystemConfig, v int64) {
+			sys.PFBuffer.SizeBytes = v * int64(sys.PFBuffer.LineBytes)
+		}},
+	"window": {"per-core MLP window (outstanding misses)",
+		func(sys *camps.SystemConfig, v int64) { sys.Processor.WindowSize = int(v) }},
+	"tsv": {"per-vault TSV bandwidth in GB/s (0 = unlimited)",
+		func(sys *camps.SystemConfig, v int64) { sys.HMC.TSVGBps = v }},
+	"vaults": {"vault count (power of two)",
+		func(sys *camps.SystemConfig, v int64) { sys.HMC.Vaults = int(v) }},
+	"mshrs": {"shared L3 MSHR entries",
+		func(sys *camps.SystemConfig, v int64) { sys.L3.MSHRs = int(v) }},
+	"readq": {"vault read-queue depth",
+		func(sys *camps.SystemConfig, v int64) { sys.HMC.ReadQueue = int(v) }},
+	"port": {"vault crossbar ingress port GB/s (0 = unbounded)",
+		func(sys *camps.SystemConfig, v int64) { sys.Links.VaultPortGBps = v }},
+	"l2pf": {"core-side L2 stride prefetch degree (0 = off)",
+		func(sys *camps.SystemConfig, v int64) { sys.Processor.L2PrefetchDegree = int(v) }},
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("campsweep: ")
+
+	var (
+		name   = flag.String("knob", "", "knob to sweep (see -list)")
+		values = flag.String("values", "", "comma-separated values")
+		mixID  = flag.String("mix", "HM2", "workload mix")
+		scheme = flag.String("scheme", "CAMPS-MOD", "prefetching scheme")
+		instr  = flag.Uint64("instr", 200_000, "measured instructions per core")
+		seed   = flag.Uint64("seed", 1, "trace seed")
+		list   = flag.Bool("list", false, "list knobs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for n, k := range knobs {
+			fmt.Printf("%-10s %s\n", n, k.help)
+		}
+		return
+	}
+	k, ok := knobs[*name]
+	if !ok {
+		log.Fatalf("unknown knob %q (use -list)", *name)
+	}
+	if *values == "" {
+		log.Fatal("need -values")
+	}
+	mix, err := camps.MixByID(*mixID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := camps.ParseScheme(strings.ToUpper(*scheme))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("# sweep %s on %s under %v (%d instr/core, seed %d)\n",
+		*name, mix.ID, s, *instr, *seed)
+	fmt.Println("value,ipc,amat_ns,conflict_rate,bufhit_rate,row_accuracy,energy_mJ")
+	for _, raw := range strings.Split(*values, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(raw), 10, 64)
+		if err != nil {
+			log.Fatalf("bad value %q: %v", raw, err)
+		}
+		sys := camps.DefaultSystem()
+		k.apply(&sys, v)
+		res, err := camps.Run(camps.RunConfig{
+			System:       sys,
+			Scheme:       s,
+			Mix:          mix,
+			Seed:         *seed,
+			MeasureInstr: *instr,
+		})
+		if err != nil {
+			log.Fatalf("value %d: %v", v, err)
+		}
+		fmt.Printf("%d,%.4f,%.1f,%.4f,%.4f,%.4f,%.3f\n",
+			v, res.GeoMeanIPC, res.AMATps/1000, res.RowConflictRate,
+			res.BufferHitRate, res.PrefetchAccuracy, res.Energy.Total()/1e9)
+	}
+}

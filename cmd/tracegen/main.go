@@ -1,0 +1,91 @@
+// Command tracegen writes a synthetic benchmark trace to a file in the
+// binary trace format, for inspection or replay through campsim-style
+// custom runs.
+//
+// Usage:
+//
+//	tracegen -bench mcf -n 1000000 -o mcf.trace [-seed 7] [-base 0]
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"camps/internal/trace"
+	"camps/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+
+	var (
+		bench   = flag.String("bench", "", "benchmark name (see -list)")
+		n       = flag.Int64("n", 1_000_000, "number of records")
+		out     = flag.String("o", "", "output file (default <bench>.trace)")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		base    = flag.Uint64("base", 0, "base physical address")
+		compact = flag.Bool("compact", false, "write the varint-delta v2 format (~4x smaller)")
+		list    = flag.Bool("list", false, "list available benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		names := append(workload.Names(), workload.ExtensionNames()...)
+		for _, name := range names {
+			b, _ := workload.GetAny(name)
+			fmt.Printf("%-9s %s  footprint %4d MiB  streams %d  conflict-group %d@%.0f%%\n",
+				name, b.Class, b.Profile.FootprintBytes>>20, b.Profile.Streams,
+				b.Profile.ConflictStreams, b.Profile.ConflictProb*100)
+		}
+		return
+	}
+	if *bench == "" {
+		log.Fatal("need -bench (or -list)")
+	}
+	b, err := workload.GetAny(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := trace.NewGenerator(b.Profile, *base, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	path := *out
+	if path == "" {
+		path = *bench + ".trace"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	type recordWriter interface {
+		Write(trace.Record) error
+		Flush() error
+		Count() uint64
+	}
+	var w recordWriter = trace.NewWriter(f)
+	if *compact {
+		w = trace.NewCompactWriter(f)
+	}
+	for i := int64(0); i < *n; i++ {
+		rec, err := gen.Next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Write(rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d records (%s) to %s\n", w.Count(), *bench, path)
+}

@@ -1,0 +1,87 @@
+// Command traceinfo summarizes a trace: reference counts, footprint, row
+// locality (episode lengths and utilization — the properties the CAMPS
+// mechanisms key on) and the dominant strides. It reads either a trace
+// file produced by tracegen or generates a benchmark on the fly.
+//
+// Usage:
+//
+//	traceinfo -f mcf.trace
+//	traceinfo -bench omnetpp -n 200000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"camps/internal/trace"
+	"camps/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("traceinfo: ")
+
+	var (
+		file  = flag.String("f", "", "trace file to analyze")
+		bench = flag.String("bench", "", "generate this benchmark instead of reading a file")
+		n     = flag.Int64("n", 500_000, "references to analyze")
+		seed  = flag.Uint64("seed", 1, "generator seed (with -bench)")
+		lineB = flag.Int64("line", 64, "cache line bytes")
+		rowB  = flag.Int64("row", 1024, "DRAM row bytes")
+	)
+	flag.Parse()
+
+	var r trace.Reader
+	var source string
+	switch {
+	case *file != "":
+		f, err := os.Open(*file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r, err = trace.OpenReader(f) // sniffs fixed-v1 vs compact-v2
+		if err != nil {
+			log.Fatal(err)
+		}
+		source = *file
+	case *bench != "":
+		b, err := workload.GetAny(*bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err := trace.NewGenerator(b.Profile, 0, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r = g
+		source = *bench + " (synthetic)"
+	default:
+		log.Fatal("need -f <file> or -bench <name>")
+	}
+
+	a, err := trace.Analyze(r, *lineB, *rowB, *n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if a.Records == 0 {
+		log.Fatal("trace is empty")
+	}
+
+	fmt.Printf("trace: %s\n\n", source)
+	fmt.Printf("references        %12d (%d reads / %d writes, %.1f%% reads)\n",
+		a.Records, a.Reads, a.Writes, 100*float64(a.Reads)/float64(a.Records))
+	fmt.Printf("mean gap          %12.2f non-memory instructions\n", a.MeanGap)
+	fmt.Printf("unique lines      %12d (%.1f MiB touched)\n",
+		a.UniqueLines, float64(a.UniqueLines)*float64(*lineB)/(1<<20))
+	fmt.Printf("footprint span    %12.1f MiB\n", float64(a.FootprintBytes)/(1<<20))
+	fmt.Printf("row episodes      %12d (len %.2f refs, util %.2f distinct lines)\n",
+		a.RowEpisodes, a.MeanEpisodeLen, a.MeanEpisodeUtil)
+	fmt.Printf("same-row rate     %12.1f%%\n", a.SameRowRate*100)
+	fmt.Println("\ntop strides (bytes -> share):")
+	for _, sc := range a.TopStrides {
+		fmt.Printf("  %12d  %6.2f%%\n", sc.Stride, 100*float64(sc.Count)/float64(a.Records-1))
+	}
+}

@@ -1,0 +1,41 @@
+// Figures: run a reduced version of the paper's evaluation grid (two
+// representative mixes, all five schemes) and render Figure 5 and Figure 9
+// as ASCII bar charts — the quickest way to *see* the reproduction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"camps"
+	"camps/internal/harness"
+	"camps/internal/plot"
+	"camps/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	hm1, _ := workload.MixByID("HM1")
+	mx1, _ := workload.MixByID("MX1")
+	grid, err := harness.Run(harness.Options{
+		Mixes:        []workload.Mix{hm1, mx1},
+		MeasureInstr: 150_000, // reduced budget: this is a demo
+		Progress: func(mix string, scheme camps.Scheme, r camps.Results) {
+			fmt.Printf("  finished %s under %v (IPC %.4f)\n", mix, scheme, r.GeoMeanIPC)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println(plot.Bars(grid.Figure5(), plot.Options{
+		Width: 36, UseBaseline: true, Baseline: 1.0,
+	}))
+	fmt.Println(plot.Bars(grid.Figure9(), plot.Options{
+		Width: 36, UseBaseline: true, Baseline: 1.0,
+	}))
+	fmt.Println("Bars to the right of '|' are better than BASE on Figure 5,")
+	fmt.Println("and worse (more energy) on Figure 9.")
+}

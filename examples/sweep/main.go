@@ -1,0 +1,56 @@
+// Parameter sweep: sensitivity of CAMPS to its two hardware knobs — the
+// RUT utilization threshold (paper default 4) and the conflict-table size
+// (paper default 32 entries per vault). These are the ablations DESIGN.md
+// calls out beyond the paper's own evaluation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"camps"
+)
+
+func run(sys camps.SystemConfig, mixID string) camps.Results {
+	mix, err := camps.MixByID(mixID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := camps.Run(camps.RunConfig{
+		System:       sys,
+		Scheme:       camps.CAMPSMOD,
+		Mix:          mix,
+		MeasureInstr: 150_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	log.SetFlags(0)
+	const mixID = "HM2"
+
+	fmt.Printf("CAMPS-MOD sensitivity on %s\n\n", mixID)
+
+	fmt.Println("RUT utilization threshold (paper: 4):")
+	fmt.Printf("%10s %10s %12s %12s\n", "threshold", "IPC", "fetches", "accuracy")
+	for _, th := range []int{1, 2, 4, 8} {
+		sys := camps.DefaultSystem()
+		sys.CAMPS.UtilThreshold = th
+		r := run(sys, mixID)
+		fmt.Printf("%10d %10.4f %12d %11.1f%%\n",
+			th, r.GeoMeanIPC, r.PrefetchesIssued, r.PrefetchAccuracy*100)
+	}
+
+	fmt.Println("\nconflict-table entries per vault (paper: 32):")
+	fmt.Printf("%10s %10s %12s %12s\n", "entries", "IPC", "fetches", "accuracy")
+	for _, n := range []int{8, 16, 32, 64} {
+		sys := camps.DefaultSystem()
+		sys.CAMPS.CTEntries = n
+		r := run(sys, mixID)
+		fmt.Printf("%10d %10.4f %12d %11.1f%%\n",
+			n, r.GeoMeanIPC, r.PrefetchesIssued, r.PrefetchAccuracy*100)
+	}
+}

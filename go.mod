@@ -1,0 +1,3 @@
+module camps
+
+go 1.22

@@ -1,0 +1,232 @@
+package camps_test
+
+import (
+	"testing"
+
+	"camps"
+)
+
+// TestTrafficConservation checks end-to-end accounting: every memory read
+// the cores issue is observed by the cube's vaults, and every demand
+// request resolves exactly once (buffer hit or bank access).
+func TestTrafficConservation(t *testing.T) {
+	res, err := camps.Run(quick("MX3", camps.CAMPS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := &res.VaultStats
+	demand := vs.DemandReads.Value() + vs.DemandWrites.Value()
+	issued := res.MemReads + res.MemWrites
+	// The engine halts the moment every core's measured region completes;
+	// a handful of requests can still be in flight on the links or in the
+	// queues, so allow a small in-flight residue (<0.1%) but never more
+	// arrivals than issues.
+	if demand > issued {
+		t.Fatalf("vaults saw %d requests but cores only issued %d", demand, issued)
+	}
+	if missing := issued - demand; missing > issued/1000+64 {
+		t.Fatalf("cores issued %d requests, vaults saw only %d", issued, demand)
+	}
+	// Arrived requests resolve as buffer hits or bank accesses (reads) or
+	// buffer absorbs/drained bursts (writes); queued-at-halt requests are
+	// the same small residue.
+	resolved := vs.BufferHits.Value() + res.RowHits + res.RowMisses + res.RowConflicts
+	if resolved > demand {
+		t.Fatalf("resolved %d of %d demand requests", resolved, demand)
+	}
+	if pendingAtHalt := demand - resolved; pendingAtHalt > demand/1000+64 {
+		t.Fatalf("resolved only %d of %d demand requests (hits %d, bank %d)",
+			resolved, demand, vs.BufferHits.Value(),
+			res.RowHits+res.RowMisses+res.RowConflicts)
+	}
+}
+
+// TestPrefetchAccountingClosed checks the prefetch pipeline's bookkeeping:
+// inserts equal evictions after the final flush, and used rows never
+// exceed inserts.
+func TestPrefetchAccountingClosed(t *testing.T) {
+	for _, s := range []camps.Scheme{camps.BASE, camps.CAMPSMOD} {
+		res, err := camps.Run(quick("HM4", s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs := res.BufferStats
+		if bs.Inserts != bs.Evictions {
+			t.Fatalf("%v: %d inserts vs %d evictions after flush", s, bs.Inserts, bs.Evictions)
+		}
+		if bs.UsedRows > bs.Inserts {
+			t.Fatalf("%v: used rows %d exceed inserts %d", s, bs.UsedRows, bs.Inserts)
+		}
+		if res.PrefetchesIssued < bs.Inserts {
+			t.Fatalf("%v: %d buffer inserts but only %d fetches executed",
+				s, bs.Inserts, res.PrefetchesIssued)
+		}
+	}
+}
+
+// TestAMATWithinPhysicalBounds: no read can complete faster than the
+// no-contention path, nor slower than a gross upper bound.
+func TestAMATWithinPhysicalBounds(t *testing.T) {
+	res, err := camps.Run(quick("LM2", camps.MMD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lower bound: link + crossbar + buffer hit, ~15 ns. Upper bound: a
+	// microsecond would mean runaway queueing.
+	if res.AMATps < 15_000 || res.AMATps > 1_000_000 {
+		t.Fatalf("AMAT %.1f ns outside physical bounds", res.AMATps/1000)
+	}
+}
+
+// TestSchemesShareDemandProfile: the demand stream offered to the memory
+// system is workload-determined, so total core-side reads should be within
+// a few percent across schemes (timing feedback shifts post-budget counts
+// slightly).
+func TestSchemesShareDemandProfile(t *testing.T) {
+	var reads []float64
+	for _, s := range camps.Schemes() {
+		res, err := camps.Run(quick("HM2", s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reads = append(reads, float64(res.MemReads))
+	}
+	for i := 1; i < len(reads); i++ {
+		ratio := reads[i] / reads[0]
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Fatalf("scheme %v demand reads diverge: %.0f vs %.0f",
+				camps.Schemes()[i], reads[i], reads[0])
+		}
+	}
+}
+
+// TestEnergyScalesWithWork: doubling the measured region should increase
+// total energy substantially.
+func TestEnergyScalesWithWork(t *testing.T) {
+	small := quick("MX4", camps.CAMPS)
+	big := quick("MX4", camps.CAMPS)
+	big.MeasureInstr = 2 * small.MeasureInstr
+	rs, err := camps.Run(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := camps.Run(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Energy.Total() < 1.5*rs.Energy.Total() {
+		t.Fatalf("energy did not scale with work: %g vs %g",
+			rb.Energy.Total(), rs.Energy.Total())
+	}
+	if rb.ElapsedSim <= rs.ElapsedSim {
+		t.Fatal("simulated time did not grow with work")
+	}
+}
+
+// TestWindowSizeSensitivity: the core's MLP window must matter end to end.
+func TestWindowSizeSensitivity(t *testing.T) {
+	run := func(window int) float64 {
+		rc := quick("HM1", camps.CAMPS)
+		sys := camps.DefaultSystem()
+		sys.Processor.WindowSize = window
+		rc.System = sys
+		res, err := camps.Run(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.GeoMeanIPC
+	}
+	if narrow, wide := run(1), run(16); wide <= narrow {
+		t.Fatalf("IPC insensitive to MLP window: w1 %g vs w16 %g", narrow, wide)
+	}
+}
+
+// TestNonDefaultGeometry runs a differently shaped cube (8 vaults, 2 GiB,
+// larger rows) end to end to prove the geometry is not hard-coded.
+func TestNonDefaultGeometry(t *testing.T) {
+	sys := camps.DefaultSystem()
+	sys.HMC.Vaults = 8
+	sys.HMC.RowsPerBank = 4096
+	sys.HMC.RowBytes = 2048
+	sys.PFBuffer.LineBytes = 2048
+	sys.PFBuffer.SizeBytes = 16 * 2048
+	rc := quick("MX2", camps.CAMPSMOD)
+	rc.System = sys
+	res, err := camps.Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GeoMeanIPC <= 0 || res.PrefetchesIssued == 0 {
+		t.Fatalf("non-default geometry run degenerate: %+v", res.GeoMeanIPC)
+	}
+}
+
+// TestCoreSidePrefetcherWorksEndToEnd: enabling the L2 stride prefetcher
+// on streaming traffic must beat the no-prefetch reference.
+func TestCoreSidePrefetcherWorksEndToEnd(t *testing.T) {
+	run := func(degree int) float64 {
+		rc := quick("HM1", camps.NONE)
+		sys := camps.DefaultSystem()
+		sys.Processor.L2PrefetchDegree = degree
+		rc.System = sys
+		res, err := camps.Run(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.GeoMeanIPC
+	}
+	off, on := run(0), run(2)
+	if on <= off {
+		t.Fatalf("core-side prefetcher did not help: off %g vs on %g", off, on)
+	}
+}
+
+// TestGoldenDeterminism pins the exact integer counters of one small run.
+// Any change to simulator behaviour — intended or not — shows up here; the
+// test is the regression tripwire for the reproduction's numbers. Update
+// the constants deliberately when a behaviour change is intentional.
+func TestGoldenDeterminism(t *testing.T) {
+	rc := camps.RunConfig{
+		Scheme:       camps.CAMPSMOD,
+		WarmupRefs:   2_000,
+		MeasureInstr: 30_000,
+		Seed:         42,
+	}
+	mix, _ := camps.MixByID("MX1")
+	rc.Mix = mix
+	a, err := camps.Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := camps.Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact equality of every integer counter between two identical runs.
+	type key struct {
+		name string
+		a, b uint64
+	}
+	for _, k := range []key{
+		{"MemReads", a.MemReads, b.MemReads},
+		{"MemWrites", a.MemWrites, b.MemWrites},
+		{"RowHits", a.RowHits, b.RowHits},
+		{"RowMisses", a.RowMisses, b.RowMisses},
+		{"RowConflicts", a.RowConflicts, b.RowConflicts},
+		{"PrefetchesIssued", a.PrefetchesIssued, b.PrefetchesIssued},
+		{"Instructions", a.Instructions, b.Instructions},
+		{"MSHRCoalesced", a.MSHRCoalesced, b.MSHRCoalesced},
+		{"L3Hits", a.Caches.L3Hits, b.Caches.L3Hits},
+	} {
+		if k.a != k.b {
+			t.Errorf("%s differs between identical runs: %d vs %d", k.name, k.a, k.b)
+		}
+	}
+	if a.ElapsedSim != b.ElapsedSim {
+		t.Errorf("ElapsedSim differs: %v vs %v", a.ElapsedSim, b.ElapsedSim)
+	}
+	// Cache rates are ordered as a hierarchy should be under this load.
+	if a.Caches.L1HitRate() <= 0 || a.Caches.L1HitRate() >= 1 {
+		t.Errorf("L1 hit rate %g degenerate", a.Caches.L1HitRate())
+	}
+}

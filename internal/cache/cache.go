@@ -1,0 +1,362 @@
+// Package cache implements the three-level cache hierarchy of Table I:
+// private L1 and L2 per core and one shared L3, all with 64-byte lines,
+// true-LRU set associativity, and write-back/write-allocate semantics.
+//
+// The caches are functional models with timing metadata: an access
+// resolves, in zero simulated time, to the level that services it plus the
+// cumulative lookup latency; misses past L3 and dirty L3 evictions are the
+// traffic that reaches the HMC.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"camps/internal/config"
+	"camps/internal/stats"
+)
+
+// Level is one set-associative cache.
+type Level struct {
+	sets      int
+	ways      int
+	lineShift uint
+	setMask   uint64
+	tags      []uint64 // sets*ways
+	state     []uint8  // bit0 valid, bit1 dirty
+	lru       []uint8  // LRU rank within the set; 0 = LRU, ways-1 = MRU
+	hitLat    int64
+
+	hits   stats.Counter
+	misses stats.Counter
+	evicts stats.Counter
+	wbacks stats.Counter
+
+	prefInstalled stats.Counter
+	prefUseful    stats.Counter
+}
+
+const (
+	stValid uint8 = 1 << 0
+	stDirty uint8 = 1 << 1
+	stPref  uint8 = 1 << 2 // installed by a core-side prefetch, unused yet
+)
+
+// NewLevel builds a cache level from its configuration.
+func NewLevel(cfg config.CacheLevel) *Level {
+	sets := int(cfg.SizeBytes) / cfg.Ways / cfg.LineBytes
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d must be a positive power of two", sets))
+	}
+	n := sets * cfg.Ways
+	return &Level{
+		sets:      sets,
+		ways:      cfg.Ways,
+		lineShift: uint(bits.TrailingZeros64(uint64(cfg.LineBytes))),
+		setMask:   uint64(sets - 1),
+		tags:      make([]uint64, n),
+		state:     make([]uint8, n),
+		lru:       make([]uint8, n),
+		hitLat:    cfg.HitLatency,
+	}
+}
+
+// HitLatency returns the level's lookup latency in CPU cycles.
+func (l *Level) HitLatency() int64 { return l.hitLat }
+
+// Sets returns the number of sets.
+func (l *Level) Sets() int { return l.sets }
+
+// Hits returns the hit count.
+func (l *Level) Hits() uint64 { return l.hits.Value() }
+
+// Misses returns the miss count.
+func (l *Level) Misses() uint64 { return l.misses.Value() }
+
+// Writebacks returns the number of dirty lines evicted.
+func (l *Level) Writebacks() uint64 { return l.wbacks.Value() }
+
+func (l *Level) index(addr uint64) (set int, lineTag uint64) {
+	line := addr >> l.lineShift
+	return int(line & l.setMask), line >> uint(bits.TrailingZeros64(uint64(l.sets)))
+}
+
+// Lookup probes for addr; on a hit it refreshes LRU and, for writes, sets
+// the dirty bit.
+func (l *Level) Lookup(addr uint64, write bool) bool {
+	set, tag := l.index(addr)
+	base := set * l.ways
+	for w := 0; w < l.ways; w++ {
+		i := base + w
+		if l.state[i]&stValid != 0 && l.tags[i] == tag {
+			l.touch(set, w)
+			if write {
+				l.state[i] |= stDirty
+			}
+			if l.state[i]&stPref != 0 {
+				l.state[i] &^= stPref
+				l.prefUseful.Inc()
+			}
+			l.hits.Inc()
+			return true
+		}
+	}
+	l.misses.Inc()
+	return false
+}
+
+// Contains probes without disturbing LRU or statistics.
+func (l *Level) Contains(addr uint64) bool {
+	set, tag := l.index(addr)
+	base := set * l.ways
+	for w := 0; w < l.ways; w++ {
+		i := base + w
+		if l.state[i]&stValid != 0 && l.tags[i] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Victim describes a line displaced by Install.
+type Victim struct {
+	Addr  uint64
+	Dirty bool
+	Valid bool
+}
+
+// Install places addr into its set as MRU, returning the displaced line.
+// Installing an already-present line refreshes it (and may set dirty).
+func (l *Level) Install(addr uint64, dirty bool) Victim {
+	return l.install(addr, dirty, false)
+}
+
+// InstallPrefetched installs a line brought in by a core-side prefetcher;
+// its first demand hit counts toward prefetch usefulness.
+func (l *Level) InstallPrefetched(addr uint64) Victim {
+	l.prefInstalled.Inc()
+	return l.install(addr, false, true)
+}
+
+func (l *Level) install(addr uint64, dirty, prefetched bool) Victim {
+	set, tag := l.index(addr)
+	base := set * l.ways
+	// Already present: refresh (a prefetch overlay never downgrades the
+	// line's state).
+	for w := 0; w < l.ways; w++ {
+		i := base + w
+		if l.state[i]&stValid != 0 && l.tags[i] == tag {
+			l.touch(set, w)
+			if dirty {
+				l.state[i] |= stDirty
+			}
+			return Victim{}
+		}
+	}
+	// Free way?
+	way := -1
+	for w := 0; w < l.ways; w++ {
+		if l.state[base+w]&stValid == 0 {
+			way = w
+			// A never-used way carries a stale LRU rank; neutralize it so
+			// touch() does not decrement other lines spuriously.
+			l.lru[base+w] = 0xFF
+			break
+		}
+	}
+	var victim Victim
+	if way < 0 {
+		// Evict the LRU way.
+		for w := 0; w < l.ways; w++ {
+			if l.lru[base+w] == 0 {
+				way = w
+				break
+			}
+		}
+		i := base + way
+		victim = Victim{
+			Addr:  l.reconstruct(set, l.tags[i]),
+			Dirty: l.state[i]&stDirty != 0,
+			Valid: true,
+		}
+		l.evicts.Inc()
+		if victim.Dirty {
+			l.wbacks.Inc()
+		}
+	}
+	i := base + way
+	l.tags[i] = tag
+	l.state[i] = stValid
+	if dirty {
+		l.state[i] |= stDirty
+	}
+	if prefetched {
+		l.state[i] |= stPref
+	}
+	l.touch(set, way)
+	return victim
+}
+
+// PrefetchInstalled returns lines installed by a core-side prefetcher.
+func (l *Level) PrefetchInstalled() uint64 { return l.prefInstalled.Value() }
+
+// PrefetchUseful returns prefetched lines that saw a demand hit.
+func (l *Level) PrefetchUseful() uint64 { return l.prefUseful.Value() }
+
+// reconstruct rebuilds a line's base address from set and tag.
+func (l *Level) reconstruct(set int, tag uint64) uint64 {
+	line := tag<<uint(bits.TrailingZeros64(uint64(l.sets))) | uint64(set)
+	return line << l.lineShift
+}
+
+// touch makes way w of set the MRU entry.
+func (l *Level) touch(set, w int) {
+	base := set * l.ways
+	old := l.lru[base+w]
+	for k := 0; k < l.ways; k++ {
+		if l.state[base+k]&stValid != 0 && l.lru[base+k] > old {
+			l.lru[base+k]--
+		}
+	}
+	// MRU rank is the number of other valid lines in the set.
+	valid := 0
+	for k := 0; k < l.ways; k++ {
+		if l.state[base+k]&stValid != 0 && k != w {
+			valid++
+		}
+	}
+	l.lru[base+w] = uint8(valid)
+}
+
+// Hierarchy is the full per-chip cache stack.
+type Hierarchy struct {
+	l1, l2 []*Level
+	l3     *Level
+	cfg    config.Config
+
+	l3MissPerCore []stats.Counter
+}
+
+// NewHierarchy builds the stack for cfg.Processor.Cores cores.
+func NewHierarchy(cfg config.Config) *Hierarchy {
+	h := &Hierarchy{cfg: cfg, l3: NewLevel(cfg.L3)}
+	h.l1 = make([]*Level, cfg.Processor.Cores)
+	h.l2 = make([]*Level, cfg.Processor.Cores)
+	h.l3MissPerCore = make([]stats.Counter, cfg.Processor.Cores)
+	for i := range h.l1 {
+		h.l1[i] = NewLevel(cfg.L1)
+		h.l2[i] = NewLevel(cfg.L2)
+	}
+	return h
+}
+
+// Result describes how an access resolved.
+type Result struct {
+	// Level that serviced the access: 1..3, or 4 for main memory.
+	Level int
+	// Latency is the cumulative lookup latency in CPU cycles, excluding
+	// main-memory time (added by the caller for Level 4).
+	Latency int64
+	// Writebacks lists dirty L3 victims that must be written to memory.
+	Writebacks []uint64
+}
+
+// Access performs one data reference for core. Misses install the line in
+// every level on the path; dirty victims cascade downward, and dirty L3
+// victims surface as memory writebacks.
+func (h *Hierarchy) Access(core int, addr uint64, write bool) Result {
+	if core < 0 || core >= len(h.l1) {
+		panic(fmt.Sprintf("cache: core %d out of range", core))
+	}
+	l1, l2 := h.l1[core], h.l2[core]
+	res := Result{Latency: l1.HitLatency()}
+	if l1.Lookup(addr, write) {
+		res.Level = 1
+		return res
+	}
+	res.Latency += l2.HitLatency()
+	if l2.Lookup(addr, false) {
+		res.Level = 2
+		h.fillL1(core, addr, write, &res)
+		return res
+	}
+	res.Latency += h.l3.HitLatency()
+	if h.l3.Lookup(addr, false) {
+		res.Level = 3
+		h.fillL2(core, addr, &res)
+		h.fillL1(core, addr, write, &res)
+		return res
+	}
+	// Miss to memory: install everywhere on the way back.
+	res.Level = 4
+	h.l3MissPerCore[core].Inc()
+	if v := h.l3.Install(addr, false); v.Valid && v.Dirty {
+		res.Writebacks = append(res.Writebacks, v.Addr)
+	}
+	h.fillL2(core, addr, &res)
+	h.fillL1(core, addr, write, &res)
+	return res
+}
+
+// fillL1 installs addr into core's L1, cascading a dirty victim into L2.
+func (h *Hierarchy) fillL1(core int, addr uint64, write bool, res *Result) {
+	if v := h.l1[core].Install(addr, write); v.Valid && v.Dirty {
+		h.installDirty(h.l2[core], v.Addr, res, func(v2 Victim) {
+			h.installDirty(h.l3, v2.Addr, res, func(v3 Victim) {
+				res.Writebacks = append(res.Writebacks, v3.Addr)
+			})
+		})
+	}
+}
+
+// fillL2 installs addr into core's L2, cascading a dirty victim into L3.
+func (h *Hierarchy) fillL2(core int, addr uint64, res *Result) {
+	if v := h.l2[core].Install(addr, false); v.Valid && v.Dirty {
+		h.installDirty(h.l3, v.Addr, res, func(v3 Victim) {
+			res.Writebacks = append(res.Writebacks, v3.Addr)
+		})
+	}
+}
+
+// installDirty writes a dirty victim into a lower level; if that in turn
+// displaces a dirty line, onDirty handles it.
+func (h *Hierarchy) installDirty(lvl *Level, addr uint64, res *Result, onDirty func(Victim)) {
+	if lvl.Lookup(addr, true) {
+		return
+	}
+	if v := lvl.Install(addr, true); v.Valid && v.Dirty {
+		onDirty(v)
+	}
+}
+
+// InstallPrefetched installs a line fetched by core's L2 prefetcher into
+// its L2 and the shared L3, returning dirty L3 victims that must be
+// written to memory. It is the fill path of the core-side prefetching
+// ablation; the installed lines count toward prefetch usefulness on their
+// first demand hit.
+func (h *Hierarchy) InstallPrefetched(core int, addr uint64) []uint64 {
+	var wbs []uint64
+	if v := h.l3.InstallPrefetched(addr); v.Valid && v.Dirty {
+		wbs = append(wbs, v.Addr)
+	}
+	if v := h.l2[core].InstallPrefetched(addr); v.Valid && v.Dirty {
+		res := Result{}
+		h.installDirty(h.l3, v.Addr, &res, func(v3 Victim) {
+			wbs = append(wbs, v3.Addr)
+		})
+		wbs = append(wbs, res.Writebacks...)
+	}
+	return wbs
+}
+
+// L1 returns core's L1 (for tests).
+func (h *Hierarchy) L1(core int) *Level { return h.l1[core] }
+
+// L2 returns core's L2 (for tests).
+func (h *Hierarchy) L2(core int) *Level { return h.l2[core] }
+
+// L3 returns the shared L3.
+func (h *Hierarchy) L3() *Level { return h.l3 }
+
+// L3Misses returns core's L3 miss count (the MPKI numerator).
+func (h *Hierarchy) L3Misses(core int) uint64 { return h.l3MissPerCore[core].Value() }

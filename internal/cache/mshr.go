@@ -1,0 +1,122 @@
+package cache
+
+import (
+	"camps/internal/sim"
+	"camps/internal/stats"
+)
+
+// Backend is the memory below the MSHR file (the HMC cube).
+type Backend interface {
+	// ReadLine fetches one cache line; done fires when data returns.
+	ReadLine(addr uint64, done func(at sim.Time))
+	// WriteLine posts one cache-line writeback.
+	WriteLine(addr uint64)
+}
+
+// MSHRFile models the shared L3 miss-status holding registers: it bounds
+// the number of distinct outstanding line fetches and coalesces concurrent
+// misses to the same line into one memory request. Requests that arrive
+// with the file full wait in an overflow queue and issue as entries free
+// up — the structural hazard a real MSHR file creates.
+type MSHRFile struct {
+	eng     *sim.Engine
+	backend Backend
+	entries int
+
+	pending  map[uint64][]func(at sim.Time)
+	overflow []mshrReq
+
+	coalesced stats.Counter
+	stalls    stats.Counter
+	issued    stats.Counter
+	peak      int
+}
+
+type mshrReq struct {
+	addr uint64
+	done func(at sim.Time)
+}
+
+// NewMSHRFile wraps backend with an entries-deep MSHR file.
+func NewMSHRFile(eng *sim.Engine, backend Backend, entries int) *MSHRFile {
+	if entries <= 0 {
+		panic("cache: MSHR file needs at least one entry")
+	}
+	return &MSHRFile{
+		eng:     eng,
+		backend: backend,
+		entries: entries,
+		pending: make(map[uint64][]func(at sim.Time)),
+	}
+}
+
+// ReadLine implements Backend with coalescing and entry bounding.
+func (m *MSHRFile) ReadLine(addr uint64, done func(at sim.Time)) {
+	if waiters, ok := m.pending[addr]; ok {
+		// Secondary miss: ride the outstanding fetch.
+		m.pending[addr] = append(waiters, done)
+		m.coalesced.Inc()
+		return
+	}
+	if len(m.pending) >= m.entries {
+		m.stalls.Inc()
+		m.overflow = append(m.overflow, mshrReq{addr: addr, done: done})
+		return
+	}
+	m.allocate(addr, done)
+}
+
+// WriteLine passes writebacks straight through (posted writes occupy no
+// MSHR in this model; they carry their own data).
+func (m *MSHRFile) WriteLine(addr uint64) { m.backend.WriteLine(addr) }
+
+func (m *MSHRFile) allocate(addr uint64, done func(at sim.Time)) {
+	m.pending[addr] = []func(at sim.Time){done}
+	if len(m.pending) > m.peak {
+		m.peak = len(m.pending)
+	}
+	m.issued.Inc()
+	m.backend.ReadLine(addr, func(at sim.Time) {
+		waiters := m.pending[addr]
+		delete(m.pending, addr)
+		for _, w := range waiters {
+			w(at)
+		}
+		m.drainOverflow()
+	})
+}
+
+// drainOverflow walks the queue once: requests matching an outstanding
+// line coalesce onto it (regardless of capacity); others issue while
+// entries are free; the rest keep waiting in order.
+func (m *MSHRFile) drainOverflow() {
+	kept := m.overflow[:0]
+	for _, req := range m.overflow {
+		if waiters, ok := m.pending[req.addr]; ok {
+			m.pending[req.addr] = append(waiters, req.done)
+			m.coalesced.Inc()
+			continue
+		}
+		if len(m.pending) < m.entries {
+			m.allocate(req.addr, req.done)
+			continue
+		}
+		kept = append(kept, req)
+	}
+	m.overflow = kept
+}
+
+// Coalesced returns secondary misses merged into outstanding fetches.
+func (m *MSHRFile) Coalesced() uint64 { return m.coalesced.Value() }
+
+// Stalls returns requests that waited for a free entry.
+func (m *MSHRFile) Stalls() uint64 { return m.stalls.Value() }
+
+// Issued returns distinct line fetches sent to the backend.
+func (m *MSHRFile) Issued() uint64 { return m.issued.Value() }
+
+// Peak returns the maximum simultaneous outstanding entries.
+func (m *MSHRFile) Peak() int { return m.peak }
+
+// Outstanding returns the current outstanding entry count.
+func (m *MSHRFile) Outstanding() int { return len(m.pending) }

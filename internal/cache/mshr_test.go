@@ -1,0 +1,201 @@
+package cache
+
+import (
+	"testing"
+
+	"camps/internal/config"
+	"camps/internal/sim"
+)
+
+// stubMem completes reads after a fixed delay and records them.
+type stubMem struct {
+	eng    *sim.Engine
+	lat    sim.Time
+	reads  []uint64
+	writes []uint64
+}
+
+func (s *stubMem) ReadLine(addr uint64, done func(at sim.Time)) {
+	s.reads = append(s.reads, addr)
+	at := s.eng.Now() + s.lat
+	s.eng.At(at, func() { done(at) })
+}
+
+func (s *stubMem) WriteLine(addr uint64) { s.writes = append(s.writes, addr) }
+
+func TestMSHRCoalescesSameLine(t *testing.T) {
+	eng := sim.NewEngine()
+	mem := &stubMem{eng: eng, lat: 100}
+	m := NewMSHRFile(eng, mem, 4)
+	got := 0
+	for i := 0; i < 3; i++ {
+		m.ReadLine(0x40, func(sim.Time) { got++ })
+	}
+	eng.Run()
+	if len(mem.reads) != 1 {
+		t.Fatalf("backend saw %d reads, want 1 (coalesced)", len(mem.reads))
+	}
+	if got != 3 {
+		t.Fatalf("%d waiters completed, want 3", got)
+	}
+	if m.Coalesced() != 2 || m.Issued() != 1 {
+		t.Fatalf("coalesced=%d issued=%d", m.Coalesced(), m.Issued())
+	}
+}
+
+func TestMSHRBoundsOutstanding(t *testing.T) {
+	eng := sim.NewEngine()
+	mem := &stubMem{eng: eng, lat: 1000}
+	m := NewMSHRFile(eng, mem, 2)
+	done := 0
+	for i := 0; i < 6; i++ {
+		m.ReadLine(uint64(i)*64, func(sim.Time) { done++ })
+	}
+	// Only 2 issued immediately; 4 stalled.
+	if m.Outstanding() != 2 || m.Stalls() != 4 {
+		t.Fatalf("outstanding=%d stalls=%d", m.Outstanding(), m.Stalls())
+	}
+	eng.Run()
+	if done != 6 {
+		t.Fatalf("completed %d/6", done)
+	}
+	if len(mem.reads) != 6 {
+		t.Fatalf("backend reads = %d, want 6", len(mem.reads))
+	}
+	if m.Peak() != 2 {
+		t.Fatalf("peak = %d, want 2 (the bound)", m.Peak())
+	}
+}
+
+func TestMSHROverflowCoalesces(t *testing.T) {
+	eng := sim.NewEngine()
+	mem := &stubMem{eng: eng, lat: 100}
+	m := NewMSHRFile(eng, mem, 1)
+	done := 0
+	m.ReadLine(0x00, func(sim.Time) { done++ }) // occupies the single entry
+	m.ReadLine(0x40, func(sim.Time) { done++ }) // overflows
+	m.ReadLine(0x40, func(sim.Time) { done++ }) // overflows, same line
+	eng.Run()
+	if done != 3 {
+		t.Fatalf("completed %d/3", done)
+	}
+	// 0x40 issued once: its queued duplicate coalesced at drain time.
+	if len(mem.reads) != 2 {
+		t.Fatalf("backend reads = %d, want 2", len(mem.reads))
+	}
+	if m.Coalesced() != 1 {
+		t.Fatalf("coalesced = %d, want 1", m.Coalesced())
+	}
+}
+
+func TestMSHRWritePassThrough(t *testing.T) {
+	eng := sim.NewEngine()
+	mem := &stubMem{eng: eng, lat: 10}
+	m := NewMSHRFile(eng, mem, 1)
+	m.WriteLine(0x1000)
+	if len(mem.writes) != 1 || mem.writes[0] != 0x1000 {
+		t.Fatalf("writes = %v", mem.writes)
+	}
+}
+
+func TestMSHRValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-entry MSHR accepted")
+		}
+	}()
+	NewMSHRFile(sim.NewEngine(), &stubMem{}, 0)
+}
+
+func TestStrideDetectorConfirmsAndPredicts(t *testing.T) {
+	d := NewStrideDetector(8, 2)
+	base := uint64(0x10000)
+	// First two observations train; stride confirmed on the third.
+	if p := d.Observe(base); p != nil {
+		t.Fatalf("prediction on first touch: %v", p)
+	}
+	if p := d.Observe(base + 64); p != nil {
+		t.Fatalf("prediction before confidence: %v", p)
+	}
+	p := d.Observe(base + 128)
+	if len(p) != 2 || p[0] != base+192 || p[1] != base+256 {
+		t.Fatalf("predictions = %v, want next two lines", p)
+	}
+	if d.Predicted() != 2 {
+		t.Fatalf("predicted counter = %d", d.Predicted())
+	}
+}
+
+func TestStrideDetectorResetsOnRegionChange(t *testing.T) {
+	d := NewStrideDetector(8, 1)
+	d.Observe(0x1000)
+	d.Observe(0x1040)
+	d.Observe(0x1080) // confirmed in region 1
+	// A different region aliasing the same entry restarts training.
+	alias := uint64(0x1000 + 8*4096)
+	if p := d.Observe(alias); p != nil {
+		t.Fatalf("prediction right after region change: %v", p)
+	}
+}
+
+func TestStrideDetectorNegativeStride(t *testing.T) {
+	d := NewStrideDetector(8, 1)
+	// All addresses within one 4 KB region (region-indexed table).
+	d.Observe(0x2f00)
+	d.Observe(0x2f00 - 64)
+	p := d.Observe(0x2f00 - 128)
+	if len(p) != 1 || p[0] != 0x2f00-192 {
+		t.Fatalf("negative-stride prediction = %v", p)
+	}
+}
+
+func TestStrideDetectorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad detector params accepted")
+		}
+	}()
+	NewStrideDetector(0, 1)
+}
+
+func TestLevelPrefetchUsefulness(t *testing.T) {
+	l := tinyLevel(2)
+	l.InstallPrefetched(0)
+	if l.PrefetchInstalled() != 1 {
+		t.Fatal("install not counted")
+	}
+	if l.PrefetchUseful() != 0 {
+		t.Fatal("useful counted before any hit")
+	}
+	l.Lookup(0, false)
+	if l.PrefetchUseful() != 1 {
+		t.Fatal("first demand hit not counted as useful")
+	}
+	l.Lookup(0, false)
+	if l.PrefetchUseful() != 1 {
+		t.Fatal("second hit double-counted usefulness")
+	}
+}
+
+func TestHierarchyInstallPrefetched(t *testing.T) {
+	cfg := config.Default()
+	h := NewHierarchy(cfg)
+	wbs := h.InstallPrefetched(0, 0x4000)
+	if len(wbs) != 0 {
+		t.Fatalf("cold prefetch install wrote back %v", wbs)
+	}
+	if !h.L2(0).Contains(0x4000) || !h.L3().Contains(0x4000) {
+		t.Fatal("prefetched line missing from L2/L3")
+	}
+	if h.L1(0).Contains(0x4000) {
+		t.Fatal("prefetched line leaked into L1")
+	}
+	// A subsequent demand access hits L2 and counts usefulness there.
+	r := h.Access(0, 0x4000, false)
+	if r.Level != 2 {
+		t.Fatalf("post-prefetch access level = %d, want 2", r.Level)
+	}
+	if h.L2(0).PrefetchUseful() != 1 {
+		t.Fatal("L2 usefulness not counted")
+	}
+}

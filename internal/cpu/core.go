@@ -1,0 +1,263 @@
+// Package cpu implements the trace-driven core model: a 4-wide core with a
+// bounded in-flight-miss window (memory-level parallelism), the standard
+// simplification for studies whose subject is the memory system. IPC
+// responds to main-memory latency exactly the way the paper's figures
+// require: more time spent with a full miss window means fewer
+// instructions per cycle.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"camps/internal/cache"
+	"camps/internal/config"
+	"camps/internal/sim"
+	"camps/internal/stats"
+	"camps/internal/trace"
+)
+
+// Memory is the interface the cores' cache-miss traffic goes to (the HMC).
+type Memory interface {
+	// ReadLine fetches one cache line; done fires when data is back.
+	ReadLine(addr uint64, done func(at sim.Time))
+	// WriteLine posts one cache-line writeback.
+	WriteLine(addr uint64)
+}
+
+// yieldQuantum bounds how far a core's local clock may run ahead of the
+// global event clock before it reschedules itself, which bounds the
+// functional-order skew between cores sharing the L3.
+const yieldQuantum = 2000 // CPU cycles
+
+// Core executes one trace.
+type Core struct {
+	eng    *sim.Engine
+	id     int
+	reader trace.Reader
+	hier   *cache.Hierarchy
+	mem    Memory
+
+	issueWidth uint64
+	window     int
+	period     sim.Time
+	quantum    sim.Time
+	budget     uint64 // instructions in the measured region
+	onFinish   func(id int)
+
+	localTime   sim.Time
+	outstanding int
+	blocked     bool
+	finished    bool
+	finishTime  sim.Time
+	instret     uint64
+
+	// Optional core-side stride prefetcher on the L2 miss stream (the
+	// paper's §2.4 comparison point); nil when disabled.
+	stride       *cache.StrideDetector
+	prefIssued   stats.Counter
+	prefFiltered stats.Counter // predictions already cached
+
+	memReads  stats.Counter
+	memWrites stats.Counter
+	stallTime sim.Time // time spent with a full window
+	err       error
+}
+
+// NewCore builds a core. budget is the measured instruction count; when
+// every core in a system reaches its budget the driver halts the engine
+// (cores keep executing past their budget to keep contention realistic).
+func NewCore(eng *sim.Engine, cfg config.Config, id int, r trace.Reader,
+	h *cache.Hierarchy, mem Memory, budget uint64, onFinish func(id int)) *Core {
+	if budget == 0 {
+		panic("cpu: zero instruction budget")
+	}
+	period := cfg.CPUClock().Period()
+	c := &Core{
+		eng:        eng,
+		id:         id,
+		reader:     r,
+		hier:       h,
+		mem:        mem,
+		issueWidth: uint64(cfg.Processor.IssueWidth),
+		window:     cfg.Processor.WindowSize,
+		period:     period,
+		quantum:    period * yieldQuantum,
+		budget:     budget,
+		onFinish:   onFinish,
+	}
+	if d := cfg.Processor.L2PrefetchDegree; d > 0 {
+		c.stride = cache.NewStrideDetector(16, d)
+	}
+	return c
+}
+
+// Start begins execution at the current simulation time.
+func (c *Core) Start() {
+	c.localTime = c.eng.Now()
+	c.step()
+}
+
+// step processes trace records until the core must yield: window full,
+// local clock too far ahead, trace exhausted, or engine halted.
+func (c *Core) step() {
+	for {
+		if c.eng.Halted() || c.err != nil {
+			return
+		}
+		if c.outstanding >= c.window {
+			c.blocked = true
+			return
+		}
+		if c.localTime > c.eng.Now()+c.quantum {
+			at := c.localTime - c.quantum
+			c.eng.At(at, c.step)
+			return
+		}
+		rec, err := c.reader.Next()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				c.err = fmt.Errorf("cpu: core %d trace: %w", c.id, err)
+			}
+			c.finish()
+			return
+		}
+		// Non-memory instructions retire issueWidth per cycle.
+		gap := uint64(rec.Gap)
+		c.localTime += c.period * sim.Time((gap+c.issueWidth-1)/c.issueWidth)
+
+		res := c.hier.Access(c.id, rec.Addr, rec.Write)
+		memRead := res.Level == 4 && !rec.Write
+		if memRead {
+			// The cache-lookup latency of a miss overlaps with the memory
+			// access itself (both ride in the out-of-order window), so
+			// only charge the L1 probe serially.
+			c.localTime += c.period * sim.Time(c.hier.L1(c.id).HitLatency())
+		} else {
+			c.localTime += c.period * sim.Time(res.Latency)
+		}
+		issueAt := maxTime(c.localTime, c.eng.Now())
+		for _, wb := range res.Writebacks {
+			wb := wb
+			c.memWrites.Inc()
+			c.eng.At(issueAt, func() { c.mem.WriteLine(wb) })
+		}
+		if memRead {
+			// Demand read miss: occupy a window slot until data returns.
+			c.memReads.Inc()
+			c.outstanding++
+			addr := rec.Addr
+			c.eng.At(issueAt, func() {
+				c.mem.ReadLine(addr, c.readDone)
+			})
+		}
+		if c.stride != nil && res.Level >= 3 && !rec.Write {
+			// Train the core-side prefetcher on the L2 miss stream and
+			// issue its predictions (no window slot: a separate engine).
+			c.issueStridePrefetches(rec.Addr, issueAt)
+		}
+		// Write misses install dirty lines without a fill (write-validate);
+		// their traffic reaches memory as eventual writebacks.
+		c.retire(gap + 1)
+	}
+}
+
+// issueStridePrefetches feeds the detector one L2-miss address and sends
+// its predictions to memory; returned data installs into L2/L3 with dirty
+// victims written back.
+func (c *Core) issueStridePrefetches(addr uint64, at sim.Time) {
+	for _, pa := range c.stride.Observe(addr) {
+		pa := pa
+		if c.hier.L2(c.id).Contains(pa) || c.hier.L3().Contains(pa) {
+			c.prefFiltered.Inc()
+			continue
+		}
+		c.prefIssued.Inc()
+		c.eng.At(at, func() {
+			c.mem.ReadLine(pa, func(sim.Time) {
+				for _, wb := range c.hier.InstallPrefetched(c.id, pa) {
+					c.mem.WriteLine(wb)
+				}
+			})
+		})
+	}
+}
+
+// StridePrefetches returns core-side prefetches issued (0 when disabled).
+func (c *Core) StridePrefetches() uint64 { return c.prefIssued.Value() }
+
+// readDone is called when an outstanding read's data arrives.
+func (c *Core) readDone(at sim.Time) {
+	c.outstanding--
+	if c.blocked {
+		c.blocked = false
+		if at > c.localTime {
+			c.stallTime += at - c.localTime
+			c.localTime = at
+		}
+		c.step()
+	}
+}
+
+// retire counts instructions and detects the budget boundary.
+func (c *Core) retire(n uint64) {
+	c.instret += n
+	if !c.finished && c.instret >= c.budget {
+		c.finished = true
+		c.finishTime = c.localTime
+		if c.onFinish != nil {
+			c.onFinish(c.id)
+		}
+	}
+}
+
+// finish handles trace exhaustion (only possible with finite readers).
+func (c *Core) finish() {
+	if !c.finished {
+		c.finished = true
+		c.finishTime = c.localTime
+		if c.onFinish != nil {
+			c.onFinish(c.id)
+		}
+	}
+}
+
+// Err returns a trace-read error, if any occurred.
+func (c *Core) Err() error { return c.err }
+
+// Finished reports whether the measured region completed.
+func (c *Core) Finished() bool { return c.finished }
+
+// Instructions returns instructions retired so far (it keeps counting past
+// the budget).
+func (c *Core) Instructions() uint64 { return c.instret }
+
+// IPC returns the measured-region instructions per cycle.
+func (c *Core) IPC() float64 {
+	if c.finishTime == 0 {
+		return 0
+	}
+	cycles := float64(c.finishTime) / float64(c.period)
+	n := c.instret
+	if n > c.budget {
+		n = c.budget
+	}
+	return float64(n) / cycles
+}
+
+// MemReads returns demand read misses sent to memory.
+func (c *Core) MemReads() uint64 { return c.memReads.Value() }
+
+// MemWrites returns writebacks sent to memory.
+func (c *Core) MemWrites() uint64 { return c.memWrites.Value() }
+
+// StallTime returns time spent blocked on a full miss window.
+func (c *Core) StallTime() sim.Time { return c.stallTime }
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

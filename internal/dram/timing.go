@@ -1,0 +1,51 @@
+// Package dram models HMC DRAM banks: the row-buffer state machine, the
+// DDR3-1600-like timing constraints of Table I, refresh, and per-bank
+// operation counters that feed the energy model.
+//
+// Banks are passive timing calculators: the vault controller decides *what*
+// to issue and *when*; a Bank enforces legality (earliest-issue times) and
+// records state transitions. All times are absolute simulation timestamps.
+package dram
+
+import (
+	"camps/internal/config"
+	"camps/internal/sim"
+)
+
+// Timing holds the bank timing constraints as durations (picoseconds),
+// converted once from the cycle counts in the configuration.
+type Timing struct {
+	RCD  sim.Time // ACT -> RD/WR
+	RP   sim.Time // PRE -> ACT
+	CL   sim.Time // RD -> first data
+	BL   sim.Time // burst occupancy for one 64B line
+	RAS  sim.Time // ACT -> PRE
+	WR   sim.Time // end of write burst -> PRE
+	RTP  sim.Time // RD -> PRE
+	CCD  sim.Time // column-to-column
+	CWL  sim.Time // WR -> first data
+	RRD  sim.Time // ACT -> ACT across banks (enforced by the vault)
+	FAW  sim.Time // four-activation window (enforced by the vault)
+	RFC  sim.Time // refresh duration
+	REFI sim.Time // refresh interval
+}
+
+// NewTiming converts cycle-denominated configuration timing into durations
+// using the DRAM bus clock.
+func NewTiming(t config.DRAMTiming, clk sim.Clock) Timing {
+	return Timing{
+		RCD:  clk.Cycles(t.TRCD),
+		RP:   clk.Cycles(t.TRP),
+		CL:   clk.Cycles(t.TCL),
+		BL:   clk.Cycles(t.TBL),
+		RAS:  clk.Cycles(t.TRAS),
+		WR:   clk.Cycles(t.TWR),
+		RTP:  clk.Cycles(t.TRTP),
+		CCD:  clk.Cycles(t.TCCD),
+		CWL:  clk.Cycles(t.TCWL),
+		RRD:  clk.Cycles(t.TRRD),
+		FAW:  clk.Cycles(t.TFAW),
+		RFC:  clk.Cycles(t.TRFC),
+		REFI: clk.Cycles(t.TREFI),
+	}
+}

@@ -1,0 +1,73 @@
+package energy
+
+import (
+	"testing"
+
+	"camps/internal/dram"
+	"camps/internal/sim"
+)
+
+func TestEstimateComponents(t *testing.T) {
+	m := Model{
+		ActPJ: 10, PrePJ: 5, ReadPJ: 2, WritePJ: 3, RowFetchPJ: 20,
+		RowStorePJ: 25, RefreshPJ: 50, BufAccPJ: 1, LinkPJJerB: 0.5,
+		BackgroundW: 2.0,
+	}
+	ops := dram.Ops{
+		Activates: 4, Precharges: 3, Reads: 10, Writes: 2,
+		RowFetches: 5, RowStores: 1, Refreshes: 2,
+	}
+	b := m.Estimate(ops, 7, 100, 0, sim.Time(1e12)) // 1 second, links asleep
+	if b.Activate != 40 || b.Precharge != 15 || b.Read != 20 || b.Write != 6 {
+		t.Fatalf("core components wrong: %+v", b)
+	}
+	if b.RowFetch != 100 || b.RowStore != 25 || b.Refresh != 100 {
+		t.Fatalf("row/refresh components wrong: %+v", b)
+	}
+	if b.Buffer != 7 || b.Link != 50 {
+		t.Fatalf("buffer/link wrong: %+v", b)
+	}
+	if b.Background != 2e12 {
+		t.Fatalf("background = %g, want 2e12 pJ (2W x 1s)", b.Background)
+	}
+	want := 40.0 + 15 + 20 + 6 + 100 + 25 + 100 + 7 + 50 + 2e12
+	if b.Total() != want {
+		t.Fatalf("total = %g, want %g", b.Total(), want)
+	}
+}
+
+func TestDefaultModelOrdering(t *testing.T) {
+	m := Default()
+	// A whole-row fetch must cost more than a single-line read but less
+	// than 16 independent reads (no I/O drivers, single activation window).
+	if m.RowFetchPJ <= m.ReadPJ || m.RowFetchPJ >= 16*m.ReadPJ {
+		t.Fatalf("row fetch energy %g not between one and sixteen reads", m.RowFetchPJ)
+	}
+	// Buffer accesses are far cheaper than DRAM column accesses.
+	if m.BufAccPJ*5 > m.ReadPJ {
+		t.Fatalf("buffer access %g too expensive relative to DRAM read %g", m.BufAccPJ, m.ReadPJ)
+	}
+}
+
+func TestMoreActivationsCostMore(t *testing.T) {
+	m := Default()
+	few := m.Estimate(dram.Ops{Activates: 100, Precharges: 100}, 0, 0, 0, 0)
+	many := m.Estimate(dram.Ops{Activates: 200, Precharges: 200}, 0, 0, 0, 0)
+	if many.Total() <= few.Total() {
+		t.Fatal("activation count does not drive energy")
+	}
+}
+
+func TestLinkAwakePower(t *testing.T) {
+	m := Model{LinkAwakeW: 0.5}
+	// 1 us awake at 0.5 W -> 0.5e6 pJ.
+	b := m.Estimate(dram.Ops{}, 0, 0, sim.Time(1e6), 0)
+	if b.Link != 0.5e6 {
+		t.Fatalf("link awake energy = %g, want 0.5e6", b.Link)
+	}
+	// Sleeping more (less awake time) costs less.
+	slept := m.Estimate(dram.Ops{}, 0, 0, sim.Time(0.4e6), 0)
+	if slept.Link >= b.Link {
+		t.Fatal("sleeping did not reduce link energy")
+	}
+}

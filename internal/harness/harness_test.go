@@ -1,0 +1,268 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"camps"
+	"camps/internal/stats"
+	"camps/internal/workload"
+)
+
+// smallGrid runs a reduced grid (2 mixes, all schemes) at test scale.
+func smallGrid(t *testing.T) *Grid {
+	t.Helper()
+	hm1, _ := workload.MixByID("HM1")
+	lm1, _ := workload.MixByID("LM1")
+	g, err := Run(Options{
+		Mixes:        []workload.Mix{hm1, lm1},
+		WarmupRefs:   5_000,
+		MeasureInstr: 50_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGridRunAndAccessors(t *testing.T) {
+	g := smallGrid(t)
+	if ids := g.MixIDs(); len(ids) != 2 || ids[0] != "HM1" || ids[1] != "LM1" {
+		t.Fatalf("mix ids = %v", ids)
+	}
+	if len(g.Schemes()) != 5 {
+		t.Fatalf("schemes = %v", g.Schemes())
+	}
+	for _, id := range g.MixIDs() {
+		for _, s := range g.Schemes() {
+			r, ok := g.Cell(id, s)
+			if !ok {
+				t.Fatalf("missing cell %s/%v", id, s)
+			}
+			if r.GeoMeanIPC <= 0 {
+				t.Fatalf("cell %s/%v has no IPC", id, s)
+			}
+		}
+	}
+	if _, ok := g.Cell("ZZ", camps.BASE); ok {
+		t.Fatal("bogus mix returned a cell")
+	}
+}
+
+func TestFigureTablesShape(t *testing.T) {
+	g := smallGrid(t)
+	figs := g.Figures()
+	if len(figs) != 5 {
+		t.Fatalf("Figures() returned %d tables", len(figs))
+	}
+	wantCols := []int{5, 4, 5, 2, 3}
+	for i, f := range figs {
+		if len(f.Columns) != wantCols[i] {
+			t.Errorf("figure %d has %d columns, want %d", i+5, len(f.Columns), wantCols[i])
+		}
+		// 2 mixes + AVG row.
+		if f.Rows() != 3 {
+			t.Errorf("figure %d has %d rows, want 3", i+5, f.Rows())
+		}
+		if f.RowLabel(f.Rows()-1) != "AVG" {
+			t.Errorf("figure %d last row = %q, want AVG", i+5, f.RowLabel(f.Rows()-1))
+		}
+		if !strings.Contains(f.Title, "Figure") {
+			t.Errorf("figure %d missing title", i+5)
+		}
+	}
+}
+
+func TestFigure5BaseColumnIsUnity(t *testing.T) {
+	g := smallGrid(t)
+	f5 := g.Figure5()
+	for i := 0; i < f5.Rows()-1; i++ { // skip AVG
+		if v := f5.Value(i, 0); v != 1.0 {
+			t.Fatalf("BASE column row %d = %g, want 1.0", i, v)
+		}
+	}
+}
+
+func TestFigure9BaseColumnIsUnity(t *testing.T) {
+	g := smallGrid(t)
+	f9 := g.Figure9()
+	for i := 0; i < f9.Rows()-1; i++ {
+		if v := f9.Value(i, 0); v != 1.0 {
+			t.Fatalf("BASE energy row %d = %g, want 1.0", i, v)
+		}
+	}
+}
+
+func TestFigure6ExcludesBase(t *testing.T) {
+	g := smallGrid(t)
+	for _, col := range g.Figure6().Columns {
+		if col == "BASE" {
+			t.Fatal("Figure 6 must exclude BASE, as in the paper")
+		}
+	}
+}
+
+func TestHeadlineOrderingAtTestScale(t *testing.T) {
+	// Run the high-signal mix at a budget where the paper's ordering is
+	// stable: CAMPS-MOD above BASE-HIT and MMD on speedup.
+	hm1, _ := workload.MixByID("HM1")
+	g, err := Run(Options{
+		Mixes:        []workload.Mix{hm1},
+		WarmupRefs:   5_000,
+		MeasureInstr: 150_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5 := g.Figure5()
+	avg := f5.Rows() - 1
+	baseHit, mmd, mod := f5.Value(avg, 1), f5.Value(avg, 2), f5.Value(avg, 4)
+	if mod <= baseHit || mod <= mmd {
+		t.Fatalf("CAMPS-MOD avg speedup %g not above BASE-HIT %g and MMD %g", mod, baseHit, mmd)
+	}
+	// Figure 7 AVG: CAMPS accuracy above BASE accuracy.
+	f7 := g.Figure7()
+	if f7.Value(avg, 3) <= f7.Value(avg, 0) {
+		t.Fatalf("CAMPS accuracy %g not above BASE %g", f7.Value(avg, 3), f7.Value(avg, 0))
+	}
+	// Figure 9 AVG: CAMPS-MOD uses less energy than BASE.
+	f9 := g.Figure9()
+	if f9.Value(avg, 2) >= 1.0 {
+		t.Fatalf("CAMPS-MOD normalized energy %g not below BASE", f9.Value(avg, 2))
+	}
+}
+
+func TestGridDeterministicAcrossParallelism(t *testing.T) {
+	mx1, _ := workload.MixByID("MX1")
+	run := func(par int) camps.Results {
+		g, err := Run(Options{
+			Mixes:        []workload.Mix{mx1},
+			Schemes:      []camps.Scheme{camps.CAMPS},
+			WarmupRefs:   2_000,
+			MeasureInstr: 30_000,
+			Parallelism:  par,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, _ := g.Cell("MX1", camps.CAMPS)
+		return r
+	}
+	a, b := run(1), run(4)
+	if a.GeoMeanIPC != b.GeoMeanIPC || a.RowConflicts != b.RowConflicts {
+		t.Fatal("grid results depend on parallelism")
+	}
+}
+
+func TestSchemeSubsetGrid(t *testing.T) {
+	lm4, _ := workload.MixByID("LM4")
+	g, err := Run(Options{
+		Mixes:        []workload.Mix{lm4},
+		Schemes:      []camps.Scheme{camps.BASE, camps.CAMPSMOD},
+		WarmupRefs:   2_000,
+		MeasureInstr: 30_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5 := g.Figure5()
+	if len(f5.Columns) != 2 {
+		t.Fatalf("subset grid figure 5 columns = %v", f5.Columns)
+	}
+	// Figure 8 needs MMD/CAMPS-MOD; with only CAMPS-MOD present it still
+	// renders a 1-column table.
+	f8 := g.Figure8()
+	if len(f8.Columns) != 1 || f8.Columns[0] != "CAMPS-MOD" {
+		t.Fatalf("subset grid figure 8 columns = %v", f8.Columns)
+	}
+}
+
+func TestGroupAverages(t *testing.T) {
+	tb := &stats.Table{Columns: []string{"x"}}
+	tb.AddRow("HM1", 2)
+	tb.AddRow("HM2", 4)
+	tb.AddRow("LM1", 10)
+	tb.AddRow("AVG", 99)
+	got := GroupAverages(tb, 0)
+	if got["HM"] != 3 || got["LM"] != 10 {
+		t.Fatalf("group averages = %v", got)
+	}
+	if _, ok := got["AV"]; ok {
+		t.Fatal("AVG row leaked into group averages")
+	}
+}
+
+func TestMPKITable(t *testing.T) {
+	g := smallGrid(t)
+	tb := g.MPKITable(camps.CAMPS)
+	if tb.Rows() != 2 {
+		t.Fatalf("MPKI table rows = %d", tb.Rows())
+	}
+	// HM1's mean MPKI exceeds LM1's.
+	if tb.Value(0, 0) <= tb.Value(1, 0) {
+		t.Fatalf("HM1 MPKI (%g) not above LM1 (%g)", tb.Value(0, 0), tb.Value(1, 0))
+	}
+}
+
+func TestRunSeedsAndAverages(t *testing.T) {
+	lm1, _ := workload.MixByID("LM1")
+	opts := Options{
+		Mixes:        []workload.Mix{lm1},
+		Schemes:      []camps.Scheme{camps.BASE, camps.CAMPSMOD},
+		WarmupRefs:   2_000,
+		MeasureInstr: 25_000,
+	}
+	grids, err := RunSeeds(opts, []uint64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grids) != 2 {
+		t.Fatalf("grids = %d", len(grids))
+	}
+	mean, err := FigureAcrossSeeds(grids, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean.Rows() != 2 || len(mean.Columns) != 2 {
+		t.Fatalf("mean table shape %dx%d", mean.Rows(), len(mean.Columns))
+	}
+	// The BASE column is 1.0 in every seed, so its mean is exactly 1.0.
+	if mean.Value(0, 0) != 1.0 {
+		t.Fatalf("mean BASE = %g", mean.Value(0, 0))
+	}
+	spread, err := SpreadTables([]*stats.Table{grids[0].Figure5(), grids[1].Figure5()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread.Value(0, 0) != 0 {
+		t.Fatalf("BASE spread = %g, want 0", spread.Value(0, 0))
+	}
+	if _, err := RunSeeds(opts, nil); err == nil {
+		t.Fatal("RunSeeds accepted no seeds")
+	}
+	if _, err := FigureAcrossSeeds(grids, 3); err == nil {
+		t.Fatal("accepted bogus figure number")
+	}
+}
+
+func TestAverageTablesValidation(t *testing.T) {
+	a := &stats.Table{Columns: []string{"X"}}
+	a.AddRow("r", 1)
+	b := &stats.Table{Columns: []string{"X", "Y"}}
+	b.AddRow("r", 1, 2)
+	if _, err := AverageTables([]*stats.Table{a, b}); err == nil {
+		t.Fatal("accepted mismatched shapes")
+	}
+	c := &stats.Table{Columns: []string{"X"}}
+	c.AddRow("other", 1)
+	if _, err := AverageTables([]*stats.Table{a, c}); err == nil {
+		t.Fatal("accepted mismatched labels")
+	}
+	if _, err := AverageTables(nil); err == nil {
+		t.Fatal("accepted empty input")
+	}
+	m, err := AverageTables([]*stats.Table{a, a})
+	if err != nil || m.Value(0, 0) != 1 {
+		t.Fatalf("self-average wrong: %v %v", m, err)
+	}
+}

@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"fmt"
+
+	"camps/internal/stats"
+)
+
+// RunSeeds executes the grid once per seed, for statistical confidence in
+// the synthetic-workload setting (each seed draws independent traces).
+func RunSeeds(opts Options, seeds []uint64) ([]*Grid, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("harness: RunSeeds needs at least one seed")
+	}
+	grids := make([]*Grid, 0, len(seeds))
+	for _, seed := range seeds {
+		o := opts
+		o.Seed = seed
+		g, err := Run(o)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		grids = append(grids, g)
+	}
+	return grids, nil
+}
+
+// AverageTables combines same-shaped tables (e.g. the same figure from
+// several seeds) into one cell-wise arithmetic mean table.
+func AverageTables(tables []*stats.Table) (*stats.Table, error) {
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("harness: no tables to average")
+	}
+	first := tables[0]
+	for _, t := range tables[1:] {
+		if t.Rows() != first.Rows() || len(t.Columns) != len(first.Columns) {
+			return nil, fmt.Errorf("harness: table shapes differ (%dx%d vs %dx%d)",
+				t.Rows(), len(t.Columns), first.Rows(), len(first.Columns))
+		}
+		for r := 0; r < t.Rows(); r++ {
+			if t.RowLabel(r) != first.RowLabel(r) {
+				return nil, fmt.Errorf("harness: row %d label %q vs %q",
+					r, t.RowLabel(r), first.RowLabel(r))
+			}
+		}
+	}
+	out := &stats.Table{
+		Title:   first.Title + fmt.Sprintf(" (mean of %d seeds)", len(tables)),
+		Columns: first.Columns,
+	}
+	for r := 0; r < first.Rows(); r++ {
+		row := make([]float64, len(first.Columns))
+		for c := range first.Columns {
+			sum := 0.0
+			for _, t := range tables {
+				sum += t.Value(r, c)
+			}
+			row[c] = sum / float64(len(tables))
+		}
+		out.AddRow(first.RowLabel(r), row...)
+	}
+	return out, nil
+}
+
+// SpreadTables returns the cell-wise max-min spread of same-shaped tables,
+// a cheap dispersion measure across seeds.
+func SpreadTables(tables []*stats.Table) (*stats.Table, error) {
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("harness: no tables to spread")
+	}
+	first := tables[0]
+	out := &stats.Table{
+		Title:   first.Title + fmt.Sprintf(" (max-min over %d seeds)", len(tables)),
+		Columns: first.Columns,
+	}
+	for r := 0; r < first.Rows(); r++ {
+		row := make([]float64, len(first.Columns))
+		for c := range first.Columns {
+			lo, hi := tables[0].Value(r, c), tables[0].Value(r, c)
+			for _, t := range tables[1:] {
+				v := t.Value(r, c)
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			row[c] = hi - lo
+		}
+		out.AddRow(first.RowLabel(r), row...)
+	}
+	return out, nil
+}
+
+// FigureAcrossSeeds runs fig (5..9) on each grid and returns the mean
+// table.
+func FigureAcrossSeeds(grids []*Grid, fig int) (*stats.Table, error) {
+	var tables []*stats.Table
+	for _, g := range grids {
+		var t *stats.Table
+		switch fig {
+		case 5:
+			t = g.Figure5()
+		case 6:
+			t = g.Figure6()
+		case 7:
+			t = g.Figure7()
+		case 8:
+			t = g.Figure8()
+		case 9:
+			t = g.Figure9()
+		default:
+			return nil, fmt.Errorf("harness: no figure %d", fig)
+		}
+		tables = append(tables, t)
+	}
+	return AverageTables(tables)
+}

@@ -1,0 +1,209 @@
+package hmc
+
+import (
+	"camps/internal/config"
+	"camps/internal/pfbuffer"
+	"camps/internal/prefetch"
+	"camps/internal/sim"
+	"camps/internal/stats"
+	"camps/internal/vault"
+)
+
+// Cube is a complete HMC main-memory system: the external (processor-side)
+// HMC controller, the serial links, the crossbar, and all vault
+// controllers. It is the component the cache hierarchy talks to.
+type Cube struct {
+	eng     *sim.Engine
+	cfg     config.Config
+	mapping Mapping
+	vaults  []*vault.Controller
+	links   []*Link
+
+	lineBytes int
+	headerB   int
+	switchLat sim.Time
+	ctrlLat   sim.Time
+
+	// Optional per-vault crossbar ingress serialization.
+	portFree []sim.Time
+	portBps  int64
+
+	reads    stats.Counter
+	writes   stats.Counter
+	readAMAT stats.LatencyAccum // request issue -> data back at controller
+	readHist *stats.Histogram   // same samples, 5ns buckets to 2us
+}
+
+// NewCube builds the cube with one prefetch scheme across all vaults.
+func NewCube(eng *sim.Engine, cfg config.Config, scheme prefetch.Scheme) *Cube {
+	c := &Cube{
+		eng:       eng,
+		cfg:       cfg,
+		mapping:   NewMapping(cfg),
+		vaults:    make([]*vault.Controller, cfg.HMC.Vaults),
+		links:     make([]*Link, cfg.Links.Count),
+		lineBytes: cfg.L3.LineBytes,
+		headerB:   cfg.Links.HeaderBytes,
+		switchLat: cfg.Links.SwitchDelay,
+		ctrlLat:   cfg.Links.CtrlOverhead,
+		readHist:  stats.NewHistogram(400, 5000), // 5ns buckets up to 2us
+	}
+	for i := range c.vaults {
+		c.vaults[i] = vault.New(eng, cfg, scheme, i)
+	}
+	for i := range c.links {
+		c.links[i] = NewLink(cfg.Links)
+	}
+	if cfg.Links.VaultPortGBps > 0 {
+		c.portBps = cfg.Links.VaultPortGBps * 1_000_000_000
+		c.portFree = make([]sim.Time, cfg.HMC.Vaults)
+	}
+	return c
+}
+
+// ingress returns the time a request packet of n bytes arriving at the
+// crossbar at `at` is fully delivered into vault v, honoring the vault's
+// ingress port when modeled.
+func (c *Cube) ingress(v int, at sim.Time, n int) sim.Time {
+	arrive := at + c.switchLat
+	if c.portBps == 0 {
+		return arrive
+	}
+	start := arrive
+	if c.portFree[v] > start {
+		start = c.portFree[v]
+	}
+	end := start + sim.Time(int64(n)*1_000_000_000_000/c.portBps)
+	c.portFree[v] = end
+	return end
+}
+
+// Mapping returns the cube's address mapping.
+func (c *Cube) Mapping() Mapping { return c.mapping }
+
+// linkFor statically routes a vault's traffic over one link, spreading
+// vaults evenly (32 vaults over 4 links).
+func (c *Cube) linkFor(vaultID int) *Link { return c.links[vaultID%len(c.links)] }
+
+// Access issues one cache-line request to the cube at the current time.
+// For reads, done fires when the data arrives back at the processor-side
+// controller. For writes, done fires when the request packet has been
+// accepted by the vault (posted-write semantics). done may be nil.
+func (c *Cube) Access(addr Address, write bool, done func(at sim.Time)) {
+	now := c.eng.Now()
+	loc := c.mapping.Decode(addr)
+	link := c.linkFor(loc.Vault)
+
+	reqBytes := c.headerB
+	if write {
+		reqBytes += c.lineBytes
+		c.writes.Inc()
+	} else {
+		c.reads.Inc()
+	}
+
+	// External controller processing, then serialization over the link,
+	// then the crossbar hop (and optional vault ingress port).
+	atCube := link.SendRequest(now+c.ctrlLat, reqBytes)
+	atVault := c.ingress(loc.Vault, atCube, reqBytes)
+
+	v := c.vaults[loc.Vault]
+	var vdone func(at sim.Time)
+	if write {
+		vdone = nil
+	} else {
+		vdone = func(ready sim.Time) {
+			// Response: crossbar back, response packet with data.
+			back := link.SendResponse(ready+c.switchLat, c.headerB+c.lineBytes)
+			c.readAMAT.Observe(float64(back - now))
+			c.readHist.Observe(float64(back - now))
+			if done != nil {
+				if back <= c.eng.Now() {
+					done(back)
+				} else {
+					c.eng.At(back, func() { done(back) })
+				}
+			}
+		}
+	}
+
+	c.eng.At(atVault, func() {
+		v.Submit(vault.Request{
+			Bank:  loc.Bank,
+			Row:   loc.Row,
+			Line:  loc.Line,
+			Write: write,
+			Done:  vdone,
+		})
+	})
+
+	if write && done != nil {
+		c.eng.At(atVault, func() { done(atVault) })
+	}
+}
+
+// Reads returns the number of read requests issued.
+func (c *Cube) Reads() uint64 { return c.reads.Value() }
+
+// Writes returns the number of write requests issued.
+func (c *Cube) Writes() uint64 { return c.writes.Value() }
+
+// ReadAMAT returns the accumulated read-latency distribution (the
+// main-memory access time the paper's Figure 8 reports), in picoseconds.
+func (c *Cube) ReadAMAT() stats.LatencyAccum { return c.readAMAT }
+
+// ReadLatencyQuantile returns an upper bound on the q-quantile of read
+// latency in picoseconds (5 ns resolution; +Inf past 2 us).
+func (c *Cube) ReadLatencyQuantile(q float64) float64 { return c.readHist.Quantile(q) }
+
+// Vault returns vault controller i (for tests and detailed inspection).
+func (c *Cube) Vault(i int) *vault.Controller { return c.vaults[i] }
+
+// Vaults returns the vault count.
+func (c *Cube) Vaults() int { return len(c.vaults) }
+
+// LinkStats returns per-link traffic counters.
+func (c *Cube) LinkStats() []LinkStats {
+	out := make([]LinkStats, len(c.links))
+	for i, l := range c.links {
+		out[i] = l.Stats()
+	}
+	return out
+}
+
+// Flush finalizes end-of-run accounting in every vault (buffer flush for
+// prefetch accuracy, DRAM op collection).
+func (c *Cube) Flush() {
+	for _, v := range c.vaults {
+		v.Flush()
+		v.CollectOps()
+	}
+}
+
+// VaultStats aggregates all vault statistics into one Stats value.
+// Call Flush first.
+func (c *Cube) VaultStats() vault.Stats {
+	var agg vault.Stats
+	for _, v := range c.vaults {
+		agg.Merge(v.Stats())
+	}
+	return agg
+}
+
+// BufferStats aggregates all prefetch-buffer statistics.
+func (c *Cube) BufferStats() pfbuffer.Stats {
+	var agg pfbuffer.Stats
+	for _, v := range c.vaults {
+		s := v.BufferStats()
+		agg.Hits += s.Hits
+		agg.Misses += s.Misses
+		agg.Inserts += s.Inserts
+		agg.Evictions += s.Evictions
+		agg.UsedRows += s.UsedRows
+		agg.LinesUseful += s.LinesUseful
+		agg.DirtyEvicts += s.DirtyEvicts
+		agg.FullRowEvicts += s.FullRowEvicts
+		agg.FirstUseDelay.Merge(s.FirstUseDelay)
+	}
+	return agg
+}

@@ -1,0 +1,110 @@
+package hmc
+
+import (
+	"camps/internal/config"
+	"camps/internal/sim"
+	"camps/internal/stats"
+)
+
+// pipe is one direction of a serial link: a bandwidth-limited,
+// store-and-forward packet channel. Serialization occupies the lane group
+// for bytes/bandwidth; propagation (SerDes + flight) adds a fixed latency
+// on top. Packets on one pipe are delivered in FIFO order.
+//
+// With link power management enabled (SleepAfter > 0), a pipe idle for
+// longer than SleepAfter goes to sleep; the next packet pays WakeLatency
+// and the slept interval is credited to the energy model.
+type pipe struct {
+	bytesPerSec int64
+	prop        sim.Time
+	nextFree    sim.Time
+
+	sleepAfter sim.Time
+	wakeLat    sim.Time
+
+	packets stats.Counter
+	bytes   stats.Counter
+	busy    sim.Time // accumulated serialization time, for utilization
+	slept   sim.Time // accumulated time in the low-power state
+	wakes   stats.Counter
+}
+
+func newPipe(l config.Links) *pipe {
+	return &pipe{
+		bytesPerSec: l.BytesPerSecond(),
+		prop:        l.PropDelay,
+		sleepAfter:  l.SleepAfter,
+		wakeLat:     l.WakeLatency,
+	}
+}
+
+// serTime returns the serialization time for a packet of n bytes.
+func (p *pipe) serTime(n int) sim.Time {
+	// bytes * 1e12 ps/s / (bytes/s); fits easily in int64 for sane sizes.
+	return sim.Time(int64(n) * 1_000_000_000_000 / p.bytesPerSec)
+}
+
+// send schedules a packet of n bytes entering the pipe at time at and
+// returns its delivery time at the far end.
+func (p *pipe) send(at sim.Time, n int) sim.Time {
+	start := at
+	if p.nextFree > start {
+		start = p.nextFree
+	}
+	if p.sleepAfter > 0 && start-p.nextFree > p.sleepAfter {
+		// The pipe slept from sleepAfter past its last activity until now.
+		p.slept += start - p.nextFree - p.sleepAfter
+		p.wakes.Inc()
+		start += p.wakeLat
+	}
+	ser := p.serTime(n)
+	p.nextFree = start + ser
+	p.packets.Inc()
+	p.bytes.Add(uint64(n))
+	p.busy += ser
+	return start + ser + p.prop
+}
+
+// Link is one full-duplex serial link: a request pipe toward the cube and
+// a response pipe back to the processor.
+type Link struct {
+	req  *pipe
+	resp *pipe
+}
+
+// NewLink builds a link from the configuration.
+func NewLink(l config.Links) *Link {
+	return &Link{req: newPipe(l), resp: newPipe(l)}
+}
+
+// SendRequest transmits a request packet of n bytes at time at; the result
+// is its arrival time at the cube.
+func (l *Link) SendRequest(at sim.Time, n int) sim.Time { return l.req.send(at, n) }
+
+// SendResponse transmits a response packet of n bytes at time at; the
+// result is its arrival time at the processor-side controller.
+func (l *Link) SendResponse(at sim.Time, n int) sim.Time { return l.resp.send(at, n) }
+
+// LinkStats summarizes one link's traffic.
+type LinkStats struct {
+	ReqPackets, ReqBytes   uint64
+	RespPackets, RespBytes uint64
+	ReqBusy, RespBusy      sim.Time
+	ReqSlept, RespSlept    sim.Time
+	Wakes                  uint64
+}
+
+// Stats returns the link's counters.
+func (l *Link) Stats() LinkStats {
+	return LinkStats{
+		ReqPackets:  l.req.packets.Value(),
+		ReqBytes:    l.req.bytes.Value(),
+		RespPackets: l.resp.packets.Value(),
+		RespBytes:   l.resp.bytes.Value(),
+		ReqBusy:     l.req.busy,
+		RespBusy:    l.resp.busy,
+		ReqSlept:    l.req.slept,
+		RespSlept:   l.resp.slept,
+		Wakes:       l.req.wakes.Value() + l.resp.wakes.Value(),
+	}
+}

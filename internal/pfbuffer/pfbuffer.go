@@ -1,0 +1,372 @@
+// Package pfbuffer implements the per-vault prefetch buffer of the CAMPS
+// paper: a small, fully associative store of whole DRAM rows (16 entries of
+// 1 KB in the default configuration) kept in the vault controller's logic
+// base.
+//
+// The buffer tracks, for every resident row, which distinct cache lines
+// have been referenced (the row's *utilization*) and an exact LRU ordering
+// expressed as the paper's *recency counters*: the most recently used row
+// holds the value n-1 and the least recently used row holds 0, with the
+// counters of all valid entries forming a permutation of 0..n-1 at all
+// times.
+//
+// Two replacement policies are provided: classic LRU (used by the BASE,
+// BASE-HIT and MMD schemes) and the paper's utilization+recency policy
+// (CAMPS-MOD): evict a fully consumed row first; otherwise evict the row
+// with the minimum utilization+recency sum, breaking ties toward lower
+// utilization.
+package pfbuffer
+
+import (
+	"fmt"
+	"math/bits"
+
+	"camps/internal/sim"
+	"camps/internal/stats"
+)
+
+// RowID identifies a DRAM row within one vault.
+type RowID struct {
+	Bank int
+	Row  int64
+}
+
+// String renders the row id.
+func (r RowID) String() string { return fmt.Sprintf("b%d/r%d", r.Bank, r.Row) }
+
+// Policy selects the replacement policy.
+type Policy int
+
+const (
+	// LRU evicts the least recently used row.
+	LRU Policy = iota
+	// UtilRecency is the CAMPS-MOD policy described in §3.2 of the paper.
+	UtilRecency
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case UtilRecency:
+		return "UtilRecency"
+	}
+	return "unknown"
+}
+
+// Eviction describes a row leaving the buffer so the vault controller can
+// account for it (dirty rows are written back to the bank).
+type Eviction struct {
+	ID    RowID
+	Dirty bool
+	Used  bool // at least one demand reference while resident
+	Util  int  // distinct lines referenced while resident
+}
+
+// Stats aggregates buffer behaviour for the accuracy figures.
+type Stats struct {
+	Hits          uint64 // demand references served by the buffer
+	Misses        uint64 // demand references not present
+	Inserts       uint64 // rows prefetched into the buffer
+	Evictions     uint64
+	UsedRows      uint64 // inserted rows referenced at least once (final)
+	LinesUseful   uint64 // distinct lines referenced across inserted rows
+	DirtyEvicts   uint64
+	FullRowEvicts uint64 // evictions of fully consumed rows (CAMPS-MOD fast path)
+
+	// FirstUseDelay measures prefetch timeliness (§2.3 of the paper): the
+	// time between a row's insertion and its first demand hit, in
+	// picoseconds. Too-early prefetches also show up as unused evictions
+	// (Inserts - UsedRows).
+	FirstUseDelay stats.LatencyAccum
+}
+
+// RowAccuracy returns the fraction of prefetched rows that were referenced.
+func (s Stats) RowAccuracy() float64 {
+	if s.Inserts == 0 {
+		return 0
+	}
+	return float64(s.UsedRows) / float64(s.Inserts)
+}
+
+// LineAccuracy returns the fraction of prefetched lines that were
+// referenced, given lines per row.
+func (s Stats) LineAccuracy(linesPerRow int) float64 {
+	if s.Inserts == 0 || linesPerRow == 0 {
+		return 0
+	}
+	return float64(s.LinesUseful) / float64(s.Inserts*uint64(linesPerRow))
+}
+
+type entry struct {
+	id       RowID
+	valid    bool
+	dirty    bool
+	touched  uint64 // bitmap of referenced lines (linesPerRow <= 64)
+	recency  int    // permutation rank among valid entries; MRU = nValid-1
+	used     bool
+	insertAt sim.Time
+}
+
+func (e *entry) util() int { return bits.OnesCount64(e.touched) }
+
+// Buffer is one vault's prefetch buffer.
+type Buffer struct {
+	entries     []entry
+	linesPerRow int
+	policy      Policy
+	nValid      int
+	stats       Stats
+}
+
+// New returns an empty buffer with the given entry count, lines per row and
+// replacement policy.
+func New(entries, linesPerRow int, policy Policy) *Buffer {
+	if entries <= 0 {
+		panic("pfbuffer: need at least one entry")
+	}
+	if linesPerRow <= 0 || linesPerRow > 64 {
+		panic("pfbuffer: linesPerRow must be in 1..64")
+	}
+	return &Buffer{
+		entries:     make([]entry, entries),
+		linesPerRow: linesPerRow,
+		policy:      policy,
+	}
+}
+
+// Entries returns the buffer capacity in rows.
+func (b *Buffer) Entries() int { return len(b.entries) }
+
+// Len returns the number of valid rows currently resident.
+func (b *Buffer) Len() int { return b.nValid }
+
+// Policy returns the replacement policy in use.
+func (b *Buffer) Policy() Policy { return b.policy }
+
+// Stats returns a copy of the accumulated statistics. Call Flush first for
+// end-of-simulation accuracy accounting.
+func (b *Buffer) Stats() Stats { return b.stats }
+
+// Contains reports whether the row is resident, without touching any
+// replacement state.
+func (b *Buffer) Contains(id RowID) bool { return b.find(id) >= 0 }
+
+func (b *Buffer) find(id RowID) int {
+	for i := range b.entries {
+		if b.entries[i].valid && b.entries[i].id == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Lookup serves a demand reference for one line of a row. On a hit it
+// updates the line bitmap, the recency ordering and (for writes) the dirty
+// bit, and returns true. On a miss it only counts the miss.
+func (b *Buffer) Lookup(id RowID, line int, write bool, now sim.Time) bool {
+	if line < 0 || line >= b.linesPerRow {
+		panic(fmt.Sprintf("pfbuffer: line %d out of range [0,%d)", line, b.linesPerRow))
+	}
+	i := b.find(id)
+	if i < 0 {
+		b.stats.Misses++
+		return false
+	}
+	e := &b.entries[i]
+	bit := uint64(1) << uint(line)
+	if e.touched&bit == 0 {
+		e.touched |= bit
+		b.stats.LinesUseful++
+	}
+	if !e.used {
+		e.used = true
+		b.stats.UsedRows++
+		b.stats.FirstUseDelay.Observe(float64(now - e.insertAt))
+	}
+	if write {
+		e.dirty = true
+	}
+	b.promote(i)
+	b.stats.Hits++
+	return true
+}
+
+// promote implements the paper's recency counters: the accessed row takes
+// the maximum value (entries-1, i.e. 15 in the default configuration) and
+// every row whose counter exceeded the accessed row's old value
+// decrements. With a full buffer the counters form a permutation of
+// 0..n-1, exactly as §3.2 describes (MRU = 15, LRU = 0); an evicted row's
+// rank is inherited by its replacement, which keeps the permutation
+// closed.
+func (b *Buffer) promote(i int) {
+	old := b.entries[i].recency
+	top := b.nValid - 1
+	for j := range b.entries {
+		if b.entries[j].valid && b.entries[j].recency > old {
+			b.entries[j].recency--
+		}
+	}
+	b.entries[i].recency = top
+}
+
+// Insert places a freshly prefetched row into the buffer as the MRU entry.
+// alreadyTouched is the bitmap of lines that were already referenced from
+// the DRAM row buffer before the copy (the trigger accesses): the paper
+// defines a row's utilization as the distinct lines referenced within it,
+// so those lines count toward replacement decisions — but not toward
+// prefetch-usefulness statistics, since the buffer never served them.
+// If the row is already resident the call is a no-op (nil eviction, no
+// insert counted). If the buffer is full the policy chooses a victim, which
+// is returned so the caller can write back dirty data.
+func (b *Buffer) Insert(id RowID, alreadyTouched uint64, now sim.Time) *Eviction {
+	if b.find(id) >= 0 {
+		return nil
+	}
+	if b.linesPerRow < 64 {
+		alreadyTouched &= 1<<uint(b.linesPerRow) - 1
+	}
+	var ev *Eviction
+	slot := -1
+	for i := range b.entries {
+		if !b.entries[i].valid {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		slot = b.victim()
+		ev = b.evict(slot)
+	}
+	e := &b.entries[slot]
+	*e = entry{id: id, valid: true, recency: b.nValid, touched: alreadyTouched, insertAt: now}
+	b.nValid++
+	b.stats.Inserts++
+	return ev
+}
+
+// victim selects the replacement index per the active policy. The buffer
+// must be full.
+func (b *Buffer) victim() int {
+	if b.policy == UtilRecency {
+		// First preference: any fully consumed row; all of its data has
+		// already been transferred to the processor.
+		best := -1
+		for i := range b.entries {
+			if b.entries[i].util() == b.linesPerRow {
+				if best < 0 || b.entries[i].recency < b.entries[best].recency {
+					best = i
+				}
+			}
+		}
+		if best >= 0 {
+			b.stats.FullRowEvicts++
+			return best
+		}
+		// Otherwise: minimum utilization+recency, ties toward lower
+		// utilization, further ties toward lower recency (deterministic).
+		best = 0
+		for i := 1; i < len(b.entries); i++ {
+			bi, bb := &b.entries[i], &b.entries[best]
+			si, sb := bi.util()+bi.recency, bb.util()+bb.recency
+			switch {
+			case si < sb:
+				best = i
+			case si == sb && bi.util() < bb.util():
+				best = i
+			case si == sb && bi.util() == bb.util() && bi.recency < bb.recency:
+				best = i
+			}
+		}
+		return best
+	}
+	// LRU: recency 0 is the least recently used by construction.
+	for i := range b.entries {
+		if b.entries[i].recency == 0 {
+			return i
+		}
+	}
+	panic("pfbuffer: full buffer without an LRU entry")
+}
+
+// evict removes entry i and returns its eviction record, repairing the
+// recency permutation of the remaining entries (equivalently: the next
+// insert inherits the victim's rank before being promoted to MRU).
+func (b *Buffer) evict(i int) *Eviction {
+	e := &b.entries[i]
+	if !e.valid {
+		panic("pfbuffer: evicting invalid entry")
+	}
+	ev := &Eviction{ID: e.id, Dirty: e.dirty, Used: e.used, Util: e.util()}
+	old := e.recency
+	e.valid = false
+	for j := range b.entries {
+		if b.entries[j].valid && b.entries[j].recency > old {
+			b.entries[j].recency--
+		}
+	}
+	b.nValid--
+	b.stats.Evictions++
+	if ev.Dirty {
+		b.stats.DirtyEvicts++
+	}
+	return ev
+}
+
+// Drop removes a specific row if resident, returning its eviction record
+// (nil if absent). Used by failure-injection tests and future coherence
+// extensions; the CAMPS schemes themselves never drop rows explicitly.
+func (b *Buffer) Drop(id RowID) *Eviction {
+	i := b.find(id)
+	if i < 0 {
+		return nil
+	}
+	return b.evict(i)
+}
+
+// Flush evicts every resident row (in recency order, LRU first) and
+// returns the dirty ones; call at end of simulation so writeback traffic
+// and accuracy accounting include resident rows.
+func (b *Buffer) Flush() []Eviction {
+	var dirty []Eviction
+	for b.nValid > 0 {
+		idx := -1
+		for i := range b.entries {
+			if b.entries[i].valid && b.entries[i].recency == 0 {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			panic("pfbuffer: valid entries without recency 0")
+		}
+		ev := b.evict(idx)
+		if ev.Dirty {
+			dirty = append(dirty, *ev)
+		}
+	}
+	return dirty
+}
+
+// Recencies returns the recency values of all valid entries; exposed for
+// invariant checking in tests.
+func (b *Buffer) Recencies() []int {
+	var out []int
+	for i := range b.entries {
+		if b.entries[i].valid {
+			out = append(out, b.entries[i].recency)
+		}
+	}
+	return out
+}
+
+// Utilization returns the distinct-line count of a resident row and whether
+// it is resident.
+func (b *Buffer) Utilization(id RowID) (int, bool) {
+	i := b.find(id)
+	if i < 0 {
+		return 0, false
+	}
+	return b.entries[i].util(), true
+}

@@ -1,0 +1,95 @@
+package prefetch
+
+import (
+	"camps/internal/config"
+	"camps/internal/dram"
+	"camps/internal/pfbuffer"
+)
+
+// campsEngine implements the conflict-aware prefetching of §3.1.
+//
+// Row-buffer hit: the served row's utilization is tracked in the RUT; once
+// the distinct-line count reaches the threshold (4 in the paper) the whole
+// row is fetched to the prefetch buffer and the bank precharged.
+//
+// Row-buffer miss: the newly activated row is checked against the CT. If
+// present, the row was displaced recently — it is conflict-prone — so it is
+// fetched whole to the buffer, removed from the CT, and the bank
+// precharged. If absent, the row stays open and enters the RUT.
+//
+// Row-buffer conflict: the displaced row's RUT entry moves to the CT (LRU
+// eviction when full), then the new row is handled as a miss.
+type campsEngine struct {
+	scheme    Scheme
+	ctx       Context
+	rut       *RUT
+	ct        *CT
+	threshold int
+}
+
+func newCAMPS(s Scheme, cfg config.CAMPS, ctx Context) *campsEngine {
+	return &campsEngine{
+		scheme:    s,
+		ctx:       ctx,
+		rut:       NewRUT(ctx.Banks),
+		ct:        NewCT(cfg.CTEntries),
+		threshold: cfg.UtilThreshold,
+	}
+}
+
+func (e *campsEngine) Scheme() Scheme { return e.scheme }
+
+func (e *campsEngine) OnDemandServed(req Request, state dram.RowState, displacedRow int64) []Fetch {
+	switch state {
+	case dram.RowHit:
+		util := e.rut.Track(req.Bank, req.Row, req.Line)
+		if util >= e.threshold {
+			touched := e.rut.Bitmap(req.Bank)
+			e.rut.Clear(req.Bank)
+			return []Fetch{{Bank: req.Bank, Row: req.Row, CloseAfter: true, Touched: touched}}
+		}
+		return nil
+
+	case dram.RowConflict:
+		// The open row was displaced to serve this request: its RUT entry
+		// (row plus utilization bitmap) moves to the conflict table.
+		if displaced, touched, ok := e.rut.Displace(req.Bank); ok {
+			e.ct.Insert(req.Bank, displaced, touched)
+		} else if displacedRow != dram.NoRow {
+			// The displaced row was not under RUT profiling (e.g. it was
+			// opened by a writeback); it still conflicted.
+			e.ct.Insert(req.Bank, displacedRow, 0)
+		}
+		return e.onNewRow(req)
+
+	default: // dram.RowMiss
+		return e.onNewRow(req)
+	}
+}
+
+// onNewRow handles a row that was just activated for this request.
+func (e *campsEngine) onNewRow(req Request) []Fetch {
+	if touched, ok := e.ct.Remove(req.Bank, req.Row); ok {
+		// Recently displaced and accessed again: conflict-prone. Fetch it
+		// whole and precharge; do not profile it further. The lines it
+		// accumulated before displacement seed the buffer entry's
+		// utilization, per the CT's stored row-utilization information.
+		return []Fetch{{Bank: req.Bank, Row: req.Row, CloseAfter: true,
+			Touched: touched | 1<<uint(req.Line)}}
+	}
+	util := e.rut.Track(req.Bank, req.Row, req.Line)
+	if util >= e.threshold {
+		// Degenerate configuration (threshold 1): fetch immediately.
+		touched := e.rut.Bitmap(req.Bank)
+		e.rut.Clear(req.Bank)
+		return []Fetch{{Bank: req.Bank, Row: req.Row, CloseAfter: true, Touched: touched}}
+	}
+	return nil
+}
+
+func (e *campsEngine) OnBufferHit(Request) {}
+
+func (e *campsEngine) OnEviction(pfbuffer.Eviction) {}
+
+// CTLen exposes the conflict-table occupancy for tests and ablations.
+func (e *campsEngine) CTLen() int { return e.ct.Len() }

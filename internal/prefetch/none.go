@@ -1,0 +1,22 @@
+package prefetch
+
+import (
+	"camps/internal/dram"
+	"camps/internal/pfbuffer"
+)
+
+// noneEngine never prefetches: the unmodified HMC with an idle prefetch
+// buffer. Not one of the paper's five compared schemes, but the natural
+// reference point for "what does prefetching buy at all" and the zero
+// point for the ablation benchmarks.
+type noneEngine struct{}
+
+func newNone() noneEngine { return noneEngine{} }
+
+func (noneEngine) Scheme() Scheme { return None }
+
+func (noneEngine) OnDemandServed(Request, dram.RowState, int64) []Fetch { return nil }
+
+func (noneEngine) OnBufferHit(Request) {}
+
+func (noneEngine) OnEviction(pfbuffer.Eviction) {}

@@ -1,0 +1,175 @@
+// Package prefetch implements the memory-side prefetch engines compared in
+// the CAMPS paper. Every engine lives in a vault controller, observes the
+// demand stream to that vault's banks, and directs whole-row fetches into
+// the vault's prefetch buffer:
+//
+//   - BASE: fetch the whole row on the first access to it (and precharge),
+//     the paper's aggressive baseline.
+//   - BASE-HIT: fetch a row once two or more requests for it are pending in
+//     the read queue.
+//   - MMD: a stand-in for the dynamic-degree memory-side prefetcher of
+//     Yedlapalli et al. [8]: sequential-row prefetch whose degree adapts to
+//     measured usefulness each epoch; LRU buffer management.
+//   - CAMPS: the paper's conflict-aware engine built on the Row Utilization
+//     Table (RUT) and Conflict Table (CT).
+//   - CAMPS-MOD: CAMPS plus the utilization+recency buffer replacement
+//     policy (the policy itself lives in package pfbuffer).
+package prefetch
+
+import (
+	"fmt"
+
+	"camps/internal/config"
+	"camps/internal/dram"
+	"camps/internal/pfbuffer"
+)
+
+// Scheme names one of the five evaluated prefetching schemes.
+type Scheme int
+
+const (
+	// Base prefetches a whole row on every first access.
+	Base Scheme = iota
+	// BaseHit prefetches a row with >= 2 pending read-queue requests.
+	BaseHit
+	// MMD adapts prefetch degree to usefulness, LRU buffer.
+	MMD
+	// CAMPS is conflict-aware prefetching with LRU buffer management.
+	CAMPS
+	// CAMPSMOD is CAMPS with utilization+recency buffer management.
+	CAMPSMOD
+	// None disables prefetching entirely — the unmodified HMC, a reference
+	// point beyond the paper's five compared schemes.
+	None
+	// ASD is a row-granularity adaptation of Hur & Lin's Adaptive Stream
+	// Detection (the paper's related work [10]); an extension scheme.
+	ASD
+)
+
+// Schemes lists the paper's five compared schemes in presentation order.
+func Schemes() []Scheme { return []Scheme{Base, BaseHit, MMD, CAMPS, CAMPSMOD} }
+
+// AllSchemes lists every available scheme, including the no-prefetch
+// reference and the ASD extension.
+func AllSchemes() []Scheme { return append(Schemes(), None, ASD) }
+
+// String returns the paper's name for the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case Base:
+		return "BASE"
+	case BaseHit:
+		return "BASE-HIT"
+	case MMD:
+		return "MMD"
+	case CAMPS:
+		return "CAMPS"
+	case CAMPSMOD:
+		return "CAMPS-MOD"
+	case None:
+		return "NONE"
+	case ASD:
+		return "ASD"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// ParseScheme converts a scheme name (as printed by String) back to a
+// Scheme value.
+func ParseScheme(name string) (Scheme, error) {
+	for _, s := range AllSchemes() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("prefetch: unknown scheme %q", name)
+}
+
+// BufferPolicy returns the prefetch-buffer replacement policy the scheme
+// uses: only CAMPS-MOD uses the utilization+recency policy.
+func (s Scheme) BufferPolicy() pfbuffer.Policy {
+	if s == CAMPSMOD {
+		return pfbuffer.UtilRecency
+	}
+	return pfbuffer.LRU
+}
+
+// Request describes one demand access as seen by a vault controller.
+type Request struct {
+	Bank  int
+	Row   int64
+	Line  int // cache line index within the row
+	Write bool
+}
+
+// RowID returns the row the request targets.
+func (r Request) RowID() pfbuffer.RowID { return pfbuffer.RowID{Bank: r.Bank, Row: r.Row} }
+
+// Fetch directs the vault controller to bring a whole row into the
+// prefetch buffer.
+type Fetch struct {
+	Bank int
+	Row  int64
+	// CloseAfter asks the controller to precharge the bank once the row
+	// has been copied (CAMPS and BASE do; the open-page schemes do not).
+	CloseAfter bool
+	// Touched is the bitmap of lines already served from the DRAM row
+	// buffer before this fetch (the trigger accesses); it seeds the
+	// prefetch-buffer entry's utilization counter.
+	Touched uint64
+}
+
+// QueueView gives engines read-only visibility into the vault's read queue
+// (BASE-HIT's trigger condition).
+type QueueView interface {
+	// PendingReadsForRow counts queued demand reads targeting the row.
+	PendingReadsForRow(bank int, row int64) int
+}
+
+// Context carries the vault-level facts engines need.
+type Context struct {
+	Banks       int
+	LinesPerRow int
+	RowsPerBank int64
+	Queue       QueueView
+}
+
+// Engine is a memory-side prefetch engine. Engines are single-vault and are
+// driven synchronously by the vault controller's event loop, so they need
+// no internal locking.
+type Engine interface {
+	// Scheme identifies the engine.
+	Scheme() Scheme
+	// OnDemandServed fires when a demand request has been serviced from a
+	// DRAM bank (not the prefetch buffer). state is the row-buffer outcome
+	// the request saw; displacedRow is the row that was closed to make room
+	// when state is RowConflict, else dram.NoRow. The returned fetches are
+	// executed by the controller as bank bandwidth allows.
+	OnDemandServed(req Request, state dram.RowState, displacedRow int64) []Fetch
+	// OnBufferHit fires when a demand request was served by the prefetch
+	// buffer instead of a bank.
+	OnBufferHit(req Request)
+	// OnEviction fires when a prefetched row leaves the buffer; engines use
+	// it for usefulness feedback.
+	OnEviction(ev pfbuffer.Eviction)
+}
+
+// New constructs the engine for a scheme using the given configuration and
+// vault context.
+func New(s Scheme, cfg config.Config, ctx Context) Engine {
+	switch s {
+	case Base:
+		return newBase(ctx)
+	case BaseHit:
+		return newBaseHit(ctx)
+	case MMD:
+		return newMMD(cfg.MMD, ctx)
+	case CAMPS, CAMPSMOD:
+		return newCAMPS(s, cfg.CAMPS, ctx)
+	case None:
+		return newNone()
+	case ASD:
+		return newASD(ctx)
+	}
+	panic(fmt.Sprintf("prefetch: unknown scheme %d", int(s)))
+}

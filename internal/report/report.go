@@ -1,0 +1,140 @@
+// Package report renders a harness grid as a self-contained Markdown
+// reproduction report: every figure as a table, per-class summaries, and
+// the paper's headline numbers alongside the measured ones.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"camps"
+	"camps/internal/harness"
+	"camps/internal/stats"
+)
+
+// paperHeadline holds the values the paper quotes in prose, used for the
+// side-by-side summary.
+var paperHeadline = []struct {
+	name     string
+	paper    string
+	measured func(g *harness.Grid) string
+}{
+	{
+		name:  "CAMPS-MOD speedup over BASE (avg)",
+		paper: "+17.9%",
+		measured: func(g *harness.Grid) string {
+			f5 := g.Figure5()
+			return fmt.Sprintf("%+.1f%%", (f5.Value(f5.Rows()-1, len(f5.Columns)-1)-1)*100)
+		},
+	},
+	{
+		name:  "CAMPS-MOD speedup over MMD (avg)",
+		paper: "+8.7%",
+		measured: func(g *harness.Grid) string {
+			f5 := g.Figure5()
+			avg := f5.Rows() - 1
+			mmd, mod := f5.Value(avg, 2), f5.Value(avg, len(f5.Columns)-1)
+			return fmt.Sprintf("%+.1f%%", (mod/mmd-1)*100)
+		},
+	},
+	{
+		name:  "conflict reduction vs MMD (avg)",
+		paper: "13.6%",
+		measured: func(g *harness.Grid) string {
+			f6 := g.Figure6()
+			avg := f6.Rows() - 1
+			mmd, mod := f6.Value(avg, 1), f6.Value(avg, len(f6.Columns)-1)
+			return fmt.Sprintf("%.1f%%", (1-mod/mmd)*100)
+		},
+	},
+	{
+		name:  "CAMPS-MOD prefetch accuracy (avg)",
+		paper: "70.5%",
+		measured: func(g *harness.Grid) string {
+			f7 := g.Figure7()
+			return fmt.Sprintf("%.1f%%", f7.Value(f7.Rows()-1, len(f7.Columns)-1))
+		},
+	},
+	{
+		name:  "CAMPS-MOD energy vs BASE (avg)",
+		paper: "0.915",
+		measured: func(g *harness.Grid) string {
+			f9 := g.Figure9()
+			return fmt.Sprintf("%.3f", f9.Value(f9.Rows()-1, len(f9.Columns)-1))
+		},
+	},
+}
+
+// Markdown renders the full report.
+func Markdown(g *harness.Grid, title string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s\n\n", title)
+	sb.WriteString("Reproduction of the CAMPS paper's evaluation (ICPP 2018). ")
+	sb.WriteString("Shapes, not absolute values, are the reproduction target; ")
+	sb.WriteString("see EXPERIMENTS.md in the repository for methodology.\n\n")
+
+	sb.WriteString("## Headline comparison\n\n")
+	sb.WriteString("| metric | paper | measured |\n|---|---|---|\n")
+	for _, h := range paperHeadline {
+		fmt.Fprintf(&sb, "| %s | %s | %s |\n", h.name, h.paper, h.measured(g))
+	}
+	sb.WriteByte('\n')
+
+	for _, fig := range g.Figures() {
+		sb.WriteString(MarkdownTable(fig))
+		sb.WriteByte('\n')
+	}
+
+	sb.WriteString("## Per-class CAMPS-MOD speedup over BASE\n\n")
+	f5 := g.Figure5()
+	groups := harness.GroupAverages(f5, len(f5.Columns)-1)
+	sb.WriteString("| class | paper | measured |\n|---|---|---|\n")
+	paperClass := map[string]string{"HM": "+24.9%", "LM": "+9.4%", "MX": "+19.6%"}
+	for _, cls := range []string{"HM", "LM", "MX"} {
+		if v, ok := groups[cls]; ok {
+			fmt.Fprintf(&sb, "| %s | %s | %+.1f%% |\n", cls, paperClass[cls], (v-1)*100)
+		}
+	}
+	return sb.String()
+}
+
+// MarkdownTable renders one stats.Table as a Markdown table with a heading.
+func MarkdownTable(t *stats.Table) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "## %s\n\n", t.Title)
+	sb.WriteString("| workload |")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&sb, " %s |", c)
+	}
+	sb.WriteString("\n|---|")
+	for range t.Columns {
+		sb.WriteString("---|")
+	}
+	sb.WriteByte('\n')
+	for r := 0; r < t.Rows(); r++ {
+		fmt.Fprintf(&sb, "| %s |", t.RowLabel(r))
+		for c := range t.Columns {
+			fmt.Fprintf(&sb, " %.4f |", t.Value(r, c))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Summary renders a compact one-paragraph textual summary of the grid,
+// suitable for CLI output.
+func Summary(g *harness.Grid) string {
+	f5 := g.Figure5()
+	avg := f5.Rows() - 1
+	mod := f5.Value(avg, len(f5.Columns)-1)
+	base := f5.Value(avg, 0)
+	var mmd float64
+	for c, name := range f5.Columns {
+		if name == camps.MMD.String() {
+			mmd = f5.Value(avg, c)
+		}
+	}
+	return fmt.Sprintf(
+		"CAMPS-MOD improves average performance by %.1f%% over BASE and %.1f%% over MMD across %d workloads.",
+		(mod/base-1)*100, (mod/mmd-1)*100, f5.Rows()-1)
+}

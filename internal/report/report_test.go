@@ -1,0 +1,72 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"camps"
+	"camps/internal/harness"
+	"camps/internal/stats"
+	"camps/internal/workload"
+)
+
+func testGrid(t *testing.T) *harness.Grid {
+	t.Helper()
+	hm1, _ := workload.MixByID("HM1")
+	lm1, _ := workload.MixByID("LM1")
+	g, err := harness.Run(harness.Options{
+		Mixes:        []workload.Mix{hm1, lm1},
+		WarmupRefs:   3_000,
+		MeasureInstr: 40_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMarkdownReport(t *testing.T) {
+	g := testGrid(t)
+	md := Markdown(g, "CAMPS reproduction")
+	for _, want := range []string{
+		"# CAMPS reproduction",
+		"## Headline comparison",
+		"| metric | paper | measured |",
+		"+17.9%", // paper headline present
+		"Figure 5",
+		"Figure 9",
+		"## Per-class CAMPS-MOD speedup over BASE",
+		"| HM |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	// Every figure table carries the AVG row.
+	if strings.Count(md, "| AVG |") < 5 {
+		t.Fatalf("AVG rows missing:\n%s", md)
+	}
+}
+
+func TestMarkdownTable(t *testing.T) {
+	tb := &stats.Table{Title: "Figure X", Columns: []string{"A", "B"}}
+	tb.AddRow("r1", 1, 2)
+	md := MarkdownTable(tb)
+	for _, want := range []string{"## Figure X", "| workload | A | B |", "| r1 | 1.0000 | 2.0000 |"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("missing %q in:\n%s", want, md)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	g := testGrid(t)
+	s := Summary(g)
+	if !strings.Contains(s, "CAMPS-MOD improves average performance") {
+		t.Fatalf("summary = %q", s)
+	}
+	if !strings.Contains(s, "2 workloads") {
+		t.Fatalf("workload count missing: %q", s)
+	}
+	_ = camps.CAMPSMOD // keep the import honest
+}

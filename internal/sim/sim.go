@@ -1,0 +1,238 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Time is measured in integer picoseconds (Time). Events scheduled for the
+// same instant fire in the order they were scheduled (FIFO tie-breaking via
+// a monotonically increasing sequence number), which makes every simulation
+// built on this kernel fully deterministic for a given input.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp in picoseconds.
+type Time int64
+
+// Common durations expressed in picoseconds.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+)
+
+// String renders the time in nanoseconds for human consumption.
+func (t Time) String() string {
+	return fmt.Sprintf("%.3fns", float64(t)/1000.0)
+}
+
+// Clock converts between a fixed-frequency cycle domain and simulation time.
+type Clock struct {
+	period Time // picoseconds per cycle
+}
+
+// NewClock returns a clock with the given frequency in MHz.
+// A 3 GHz clock is NewClock(3000).
+func NewClock(freqMHz int64) Clock {
+	if freqMHz <= 0 {
+		panic("sim: clock frequency must be positive")
+	}
+	return Clock{period: Time(1_000_000 / freqMHz)}
+}
+
+// NewClockPeriod returns a clock with an explicit period.
+func NewClockPeriod(period Time) Clock {
+	if period <= 0 {
+		panic("sim: clock period must be positive")
+	}
+	return Clock{period: period}
+}
+
+// Period returns the clock period.
+func (c Clock) Period() Time { return c.period }
+
+// Cycles converts a cycle count to a duration.
+func (c Clock) Cycles(n int64) Time { return Time(n) * c.period }
+
+// ToCycles converts a duration to whole elapsed cycles (floor).
+func (c Clock) ToCycles(d Time) int64 { return int64(d / c.period) }
+
+// NextEdge returns the earliest time >= t that falls on a clock edge.
+func (c Clock) NextEdge(t Time) Time {
+	rem := t % c.period
+	if rem == 0 {
+		return t
+	}
+	return t + c.period - rem
+}
+
+// Event is a scheduled callback.
+type Event struct {
+	when   Time
+	seq    uint64
+	idx    int // heap index, -1 once popped or cancelled
+	daemon bool
+	fn     func()
+}
+
+// When returns the time the event is scheduled for.
+func (e *Event) When() Time { return e.when }
+
+// Scheduled reports whether the event is still pending.
+func (e *Event) Scheduled() bool { return e != nil && e.idx >= 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine owns the event queue and the current simulation time.
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now       Time
+	seq       uint64
+	queue     eventHeap
+	fired     uint64
+	halted    bool
+	nonDaemon int
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a model bug, and silently reordering time would make
+// results meaningless.
+func (e *Engine) At(t Time, fn func()) *Event {
+	return e.schedule(t, fn, false)
+}
+
+// AtDaemon schedules a daemon event: it fires like any other event while
+// the simulation is alive, but does not by itself keep Run going. Use it
+// for self-rearming background work (DRAM refresh windows, periodic
+// feedback) that would otherwise make Run non-terminating.
+func (e *Engine) AtDaemon(t Time, fn func()) *Event {
+	return e.schedule(t, fn, true)
+}
+
+func (e *Engine) schedule(t Time, fn func(), daemon bool) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	ev := &Event{when: t, seq: e.seq, daemon: daemon, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	if !daemon {
+		e.nonDaemon++
+	}
+	return ev
+}
+
+// After schedules fn to run d picoseconds from now.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op and returns false.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.idx < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, ev.idx)
+	ev.idx = -1
+	ev.fn = nil
+	if !ev.daemon {
+		e.nonDaemon--
+	}
+	return true
+}
+
+// Halt stops Run/RunUntil after the currently executing event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Halted reports whether Halt has been called.
+func (e *Engine) Halted() bool { return e.halted }
+
+// Step executes the single earliest pending event.
+// It reports false if the queue is empty or the engine has halted.
+func (e *Engine) Step() bool {
+	if e.halted || len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	if !ev.daemon {
+		e.nonDaemon--
+	}
+	e.now = ev.when
+	fn := ev.fn
+	ev.fn = nil
+	e.fired++
+	fn()
+	return true
+}
+
+// Run executes events until no non-daemon events remain or Halt is called.
+// Daemon events that fall before the last non-daemon event still fire in
+// time order; daemon events beyond it stay queued.
+func (e *Engine) Run() {
+	for !e.halted && e.nonDaemon > 0 && e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline. On return the
+// engine's time is min(deadline, time of last fired event); events beyond
+// the deadline remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	for !e.halted && len(e.queue) > 0 && e.queue[0].when <= deadline {
+		e.Step()
+	}
+	if !e.halted && e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d picoseconds.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }

@@ -1,0 +1,376 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockConversions(t *testing.T) {
+	cpu := NewClock(3000) // 3 GHz
+	if got := cpu.Period(); got != 333 {
+		t.Fatalf("3GHz period = %d ps, want 333", got)
+	}
+	dram := NewClock(800) // DDR3-1600 bus clock
+	if got := dram.Period(); got != 1250 {
+		t.Fatalf("800MHz period = %d ps, want 1250", got)
+	}
+	if got := dram.Cycles(11); got != 13750 {
+		t.Fatalf("11 DRAM cycles = %v ps, want 13750", got)
+	}
+	if got := dram.ToCycles(13750); got != 11 {
+		t.Fatalf("ToCycles(13750) = %d, want 11", got)
+	}
+}
+
+func TestClockNextEdge(t *testing.T) {
+	c := NewClockPeriod(100)
+	cases := []struct{ in, want Time }{
+		{0, 0}, {1, 100}, {99, 100}, {100, 100}, {101, 200},
+	}
+	for _, tc := range cases {
+		if got := c.NextEdge(tc.in); got != tc.want {
+			t.Errorf("NextEdge(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestClockPanicsOnBadFrequency(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewClock(0) did not panic")
+		}
+	}()
+	NewClock(0)
+}
+
+func TestEngineFiresInTimeOrder(t *testing.T) {
+	eng := NewEngine()
+	var order []Time
+	for _, tm := range []Time{50, 10, 30, 20, 40} {
+		tm := tm
+		eng.At(tm, func() { order = append(order, tm) })
+	}
+	eng.Run()
+	if !sort.SliceIsSorted(order, func(i, j int) bool { return order[i] < order[j] }) {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if len(order) != 5 {
+		t.Fatalf("fired %d events, want 5", len(order))
+	}
+	if eng.Now() != 50 {
+		t.Fatalf("final time %v, want 50", eng.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		eng.At(7, func() { order = append(order, i) })
+	}
+	eng.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of scheduling order at %d: %v", i, order[:i+1])
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	eng := NewEngine()
+	var hits []Time
+	eng.At(10, func() {
+		hits = append(hits, eng.Now())
+		eng.After(5, func() { hits = append(hits, eng.Now()) })
+	})
+	eng.Run()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Fatalf("nested scheduling produced %v, want [10 15]", hits)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	eng := NewEngine()
+	eng.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		eng.At(50, func() {})
+	})
+	eng.Run()
+}
+
+func TestEngineCancel(t *testing.T) {
+	eng := NewEngine()
+	fired := false
+	ev := eng.At(10, func() { fired = true })
+	if !ev.Scheduled() {
+		t.Fatal("freshly scheduled event reports not scheduled")
+	}
+	if !eng.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if ev.Scheduled() {
+		t.Fatal("cancelled event still reports scheduled")
+	}
+	if eng.Cancel(ev) {
+		t.Fatal("double cancel returned true")
+	}
+	eng.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestEngineCancelNil(t *testing.T) {
+	eng := NewEngine()
+	if eng.Cancel(nil) {
+		t.Fatal("Cancel(nil) returned true")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	eng := NewEngine()
+	var fired []Time
+	for _, tm := range []Time{10, 20, 30, 40} {
+		tm := tm
+		eng.At(tm, func() { fired = append(fired, tm) })
+	}
+	eng.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(25) fired %d events, want 2", len(fired))
+	}
+	if eng.Now() != 25 {
+		t.Fatalf("time after RunUntil(25) = %v, want 25", eng.Now())
+	}
+	if eng.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", eng.Pending())
+	}
+	eng.RunFor(10)
+	if len(fired) != 3 || eng.Now() != 35 {
+		t.Fatalf("RunFor(10): fired=%v now=%v", fired, eng.Now())
+	}
+}
+
+func TestEngineHalt(t *testing.T) {
+	eng := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		eng.At(Time(i), func() {
+			count++
+			if count == 3 {
+				eng.Halt()
+			}
+		})
+	}
+	eng.Run()
+	if count != 3 {
+		t.Fatalf("halt did not stop the engine: fired %d", count)
+	}
+	if !eng.Halted() {
+		t.Fatal("Halted() false after Halt")
+	}
+}
+
+func TestEngineFiredCounter(t *testing.T) {
+	eng := NewEngine()
+	for i := 0; i < 17; i++ {
+		eng.At(Time(i), func() {})
+	}
+	eng.Run()
+	if eng.Fired() != 17 {
+		t.Fatalf("Fired() = %d, want 17", eng.Fired())
+	}
+}
+
+// Property: for any set of scheduled times, the engine fires them in
+// nondecreasing time order and ends at the max time.
+func TestEngineOrderingProperty(t *testing.T) {
+	prop := func(times []uint16) bool {
+		eng := NewEngine()
+		var fired []Time
+		for _, raw := range times {
+			tm := Time(raw)
+			eng.At(tm, func() { fired = append(fired, tm) })
+		}
+		eng.Run()
+		if len(fired) != len(times) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i-1] > fired[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving At and Cancel at random leaves exactly the
+// uncancelled events firing, in order.
+func TestEngineCancelProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		eng := NewEngine()
+		type rec struct {
+			ev        *Event
+			when      Time
+			cancelled bool
+		}
+		var recs []*rec
+		var fired []Time
+		n := 1 + rng.Intn(64)
+		for i := 0; i < n; i++ {
+			r := &rec{when: Time(rng.Intn(1000))}
+			r.ev = eng.At(r.when, func() { fired = append(fired, r.when) })
+			recs = append(recs, r)
+		}
+		for _, r := range recs {
+			if rng.Intn(2) == 0 {
+				r.cancelled = true
+				if !eng.Cancel(r.ev) {
+					t.Fatal("cancel of pending event failed")
+				}
+			}
+		}
+		var want []Time
+		for _, r := range recs {
+			if !r.cancelled {
+				want = append(want, r.when)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		eng.Run()
+		if len(fired) != len(want) {
+			t.Fatalf("trial %d: fired %d events, want %d", trial, len(fired), len(want))
+		}
+		for i := range want {
+			if fired[i] != want[i] {
+				t.Fatalf("trial %d: fired[%d]=%v want %v", trial, i, fired[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTickerFiresPeriodically(t *testing.T) {
+	eng := NewEngine()
+	var ticks []Time
+	tk := NewTicker(eng, 100, func() { ticks = append(ticks, eng.Now()) })
+	eng.RunUntil(550)
+	tk.Stop()
+	want := []Time{100, 200, 300, 400, 500}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+	eng.RunUntil(2000)
+	if len(ticks) != len(want) {
+		t.Fatal("ticker fired after Stop")
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	eng := NewEngine()
+	count := 0
+	var tk *Ticker
+	tk = NewTicker(eng, 10, func() {
+		count++
+		if count == 2 {
+			tk.Stop()
+		}
+	})
+	eng.RunUntil(1000)
+	if count != 2 {
+		t.Fatalf("ticker fired %d times after in-callback Stop, want 2", count)
+	}
+}
+
+func BenchmarkEngineSchedule(b *testing.B) {
+	eng := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.At(Time(i), fn)
+		if eng.Pending() > 1024 {
+			for eng.Pending() > 0 {
+				eng.Step()
+			}
+		}
+	}
+}
+
+func TestDaemonEventsDoNotKeepRunAlive(t *testing.T) {
+	eng := NewEngine()
+	daemonFired := 0
+	var rearm func(Time)
+	rearm = func(at Time) {
+		eng.AtDaemon(at, func() {
+			daemonFired++
+			rearm(eng.Now() + 10) // self-rearming background work
+		})
+	}
+	rearm(5)
+	normal := 0
+	eng.At(27, func() { normal++ })
+	eng.Run() // must terminate despite the endless daemon chain
+	if normal != 1 {
+		t.Fatal("normal event did not fire")
+	}
+	// Daemon events at 5, 15, 25 precede the normal event at 27 and fire;
+	// the one at 35 stays queued.
+	if daemonFired != 3 {
+		t.Fatalf("daemon fired %d times, want 3", daemonFired)
+	}
+	if eng.Now() != 27 {
+		t.Fatalf("time = %v, want 27", eng.Now())
+	}
+}
+
+func TestRunWithOnlyDaemonEventsReturnsImmediately(t *testing.T) {
+	eng := NewEngine()
+	fired := false
+	eng.AtDaemon(10, func() { fired = true })
+	eng.Run()
+	if fired {
+		t.Fatal("daemon event fired with no non-daemon work")
+	}
+	if eng.Pending() != 1 {
+		t.Fatal("daemon event should remain queued")
+	}
+}
+
+func TestRunUntilFiresDaemonEvents(t *testing.T) {
+	eng := NewEngine()
+	fired := 0
+	eng.AtDaemon(10, func() { fired++ })
+	eng.AtDaemon(20, func() { fired++ })
+	eng.RunUntil(15)
+	if fired != 1 {
+		t.Fatalf("RunUntil fired %d daemon events, want 1", fired)
+	}
+}
+
+func TestCancelDaemonEvent(t *testing.T) {
+	eng := NewEngine()
+	ev := eng.AtDaemon(10, func() {})
+	if !eng.Cancel(ev) {
+		t.Fatal("cancel of daemon event failed")
+	}
+	eng.At(20, func() {})
+	eng.Run() // must not crash the non-daemon bookkeeping
+	if eng.Now() != 20 {
+		t.Fatalf("time = %v", eng.Now())
+	}
+}

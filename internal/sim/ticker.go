@@ -1,0 +1,41 @@
+package sim
+
+// Ticker invokes a callback on every edge of a clock until stopped.
+// It is used for periodic maintenance work such as DRAM refresh windows
+// and epoch-based feedback in prefetchers.
+type Ticker struct {
+	eng      *Engine
+	interval Time
+	fn       func()
+	ev       *Event
+	stopped  bool
+}
+
+// NewTicker schedules fn every interval picoseconds, first firing one
+// interval from now.
+func NewTicker(eng *Engine, interval Time, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("sim: ticker interval must be positive")
+	}
+	t := &Ticker{eng: eng, interval: interval, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.eng.After(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.eng.Cancel(t.ev)
+}

@@ -1,0 +1,200 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 6 {
+		t.Fatalf("counter = %d, want 6", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("counter after reset = %d, want 0", c.Value())
+	}
+}
+
+func TestLatencyAccum(t *testing.T) {
+	var a LatencyAccum
+	if a.Mean() != 0 || a.Min() != 0 || a.Max() != 0 {
+		t.Fatal("empty accumulator should report zeros")
+	}
+	for _, v := range []float64{10, 20, 30} {
+		a.Observe(v)
+	}
+	if a.Count() != 3 || !almostEq(a.Mean(), 20) || a.Min() != 10 || a.Max() != 30 {
+		t.Fatalf("accum = count %d mean %g min %g max %g", a.Count(), a.Mean(), a.Min(), a.Max())
+	}
+}
+
+func TestLatencyAccumMerge(t *testing.T) {
+	var a, b LatencyAccum
+	a.Observe(1)
+	a.Observe(3)
+	b.Observe(10)
+	a.Merge(b)
+	if a.Count() != 3 || a.Max() != 10 || a.Min() != 1 || !almostEq(a.Sum(), 14) {
+		t.Fatalf("merged accum wrong: %+v", a)
+	}
+	var empty LatencyAccum
+	a.Merge(empty)
+	if a.Count() != 3 {
+		t.Fatal("merging empty changed count")
+	}
+	var c LatencyAccum
+	c.Merge(a)
+	if c.Count() != 3 || c.Min() != 1 {
+		t.Fatal("merge into empty lost data")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(4, 10)
+	for _, v := range []float64{0, 5, 15, 35, 100, -2} {
+		h.Observe(v)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("total = %d, want 6", h.Total())
+	}
+	if h.Bucket(0) != 3 { // 0, 5, and clamped -2
+		t.Fatalf("bucket 0 = %d, want 3", h.Bucket(0))
+	}
+	if h.Bucket(1) != 1 || h.Bucket(3) != 1 {
+		t.Fatalf("buckets = [%d %d %d %d]", h.Bucket(0), h.Bucket(1), h.Bucket(2), h.Bucket(3))
+	}
+	if h.Overflow() != 1 {
+		t.Fatalf("overflow = %d, want 1", h.Overflow())
+	}
+	if q := h.Quantile(0.5); q != 10 {
+		t.Fatalf("median = %g, want 10", q)
+	}
+	if q := h.Quantile(1.0); !math.IsInf(q, 1) {
+		t.Fatalf("p100 with overflow = %g, want +Inf", q)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := NewHistogram(2, 1)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) != 0")
+	}
+	if g := GeoMean([]float64{2, 8}); !almostEq(g, 4) {
+		t.Fatalf("GeoMean(2,8) = %g, want 4", g)
+	}
+	if g := GeoMean([]float64{3, 3, 3}); !almostEq(g, 3) {
+		t.Fatalf("GeoMean(3,3,3) = %g, want 3", g)
+	}
+}
+
+func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GeoMean of zero did not panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+// Property: geomean lies between min and max and is scale-equivariant.
+func TestGeoMeanProperties(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		var vs []float64
+		for _, r := range raw {
+			vs = append(vs, float64(r)+1) // strictly positive
+		}
+		if len(vs) == 0 {
+			return true
+		}
+		g := GeoMean(vs)
+		mn, mx := vs[0], vs[0]
+		for _, v := range vs {
+			mn = math.Min(mn, v)
+			mx = math.Max(mx, v)
+		}
+		if g < mn-1e-9 || g > mx+1e-9 {
+			return false
+		}
+		scaled := make([]float64, len(vs))
+		for i, v := range vs {
+			scaled[i] = v * 2
+		}
+		return math.Abs(GeoMean(scaled)-2*g) < 1e-6*g
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedupAndRatios(t *testing.T) {
+	if s := Speedup([]float64{2, 2}, []float64{1, 1}); !almostEq(s, 2) {
+		t.Fatalf("Speedup = %g, want 2", s)
+	}
+	if Ratio(1, 0) != 0 {
+		t.Fatal("Ratio with zero denominator should be 0")
+	}
+	if pc := PercentChange(100, 120); !almostEq(pc, 20) {
+		t.Fatalf("PercentChange = %g, want 20", pc)
+	}
+	if PercentChange(0, 5) != 0 {
+		t.Fatal("PercentChange from 0 should be 0")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := &Table{Title: "demo", Columns: []string{"A", "B"}}
+	tb.AddRow("HM1", 1.0, 2.0)
+	tb.AddRow("LM1", 3.0, 4.0)
+	if tb.Rows() != 2 || tb.Value(1, 1) != 4.0 || tb.RowLabel(0) != "HM1" {
+		t.Fatal("table accessors broken")
+	}
+	out := tb.String()
+	for _, want := range []string{"demo", "HM1", "LM1", "A", "B", "3.0000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "workload,A,B\n") || !strings.Contains(csv, "HM1,1.000000,2.000000") {
+		t.Fatalf("csv wrong:\n%s", csv)
+	}
+	if g := tb.ColumnGeoMean(0); !almostEq(g, math.Sqrt(3)) {
+		t.Fatalf("column geomean = %g", g)
+	}
+	if m := tb.ColumnMean(1); !almostEq(m, 3) {
+		t.Fatalf("column mean = %g", m)
+	}
+}
+
+func TestTableRowMismatchPanics(t *testing.T) {
+	tb := &Table{Columns: []string{"A"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched AddRow did not panic")
+		}
+	}()
+	tb.AddRow("x", 1, 2)
+}
+
+func TestTableSortRows(t *testing.T) {
+	tb := &Table{Columns: []string{"A"}}
+	tb.AddRow("b", 2)
+	tb.AddRow("a", 1)
+	tb.SortRows(func(x, y string) bool { return x < y })
+	if tb.RowLabel(0) != "a" {
+		t.Fatal("SortRows did not sort")
+	}
+}

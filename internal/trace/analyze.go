@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"sort"
+)
+
+// Analysis summarizes a reference stream's memory behaviour: the knobs a
+// profile was tuned by (read mix, gaps, footprint) and the locality
+// properties the prefetching schemes key on (row-episode lengths, stride
+// distribution).
+type Analysis struct {
+	Records uint64
+	Reads   uint64
+	Writes  uint64
+	MeanGap float64 // mean non-memory instructions per reference
+
+	UniqueLines    uint64 // distinct cache lines touched
+	FootprintBytes uint64 // span between lowest and highest line touched
+
+	// Row behaviour at rowBytes granularity, over the whole stream (not
+	// per bank): an episode is a maximal run of consecutive references to
+	// the same row.
+	RowEpisodes     uint64
+	SameRowRate     float64 // fraction of references staying in the row
+	MeanEpisodeLen  float64 // references per episode
+	MeanEpisodeUtil float64 // distinct lines per episode
+
+	// TopStrides are the most common line-granularity strides between
+	// consecutive references, descending by count.
+	TopStrides []StrideCount
+}
+
+// StrideCount is one stride's frequency.
+type StrideCount struct {
+	Stride int64 // bytes between consecutive references
+	Count  uint64
+}
+
+// Analyze consumes up to maxRecords references (all of them if
+// maxRecords <= 0) and summarizes them. lineBytes and rowBytes define the
+// cache-line and DRAM-row granularities.
+func Analyze(r Reader, lineBytes, rowBytes int64, maxRecords int64) (Analysis, error) {
+	if lineBytes <= 0 || rowBytes <= 0 || rowBytes%lineBytes != 0 {
+		return Analysis{}, errors.New("trace: Analyze needs positive line/row sizes with row a multiple of line")
+	}
+	var (
+		a         Analysis
+		gapSum    float64
+		lines     = make(map[uint64]struct{})
+		strides   = make(map[int64]uint64)
+		minLine   = uint64(0)
+		maxLine   = uint64(0)
+		havePrev  bool
+		prevAddr  uint64
+		prevRow   uint64
+		epLen     uint64
+		epLines   map[uint64]struct{}
+		epLenSum  uint64
+		epUtilSum uint64
+	)
+	closeEpisode := func() {
+		if epLen == 0 {
+			return
+		}
+		a.RowEpisodes++
+		epLenSum += epLen
+		epUtilSum += uint64(len(epLines))
+	}
+	for maxRecords <= 0 || int64(a.Records) < maxRecords {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return Analysis{}, err
+		}
+		a.Records++
+		gapSum += float64(rec.Gap)
+		if rec.Write {
+			a.Writes++
+		} else {
+			a.Reads++
+		}
+		line := rec.Addr / uint64(lineBytes)
+		lines[line] = struct{}{}
+		if a.Records == 1 || line < minLine {
+			minLine = line
+		}
+		if line > maxLine {
+			maxLine = line
+		}
+		row := rec.Addr / uint64(rowBytes)
+		if havePrev {
+			strides[int64(rec.Addr)-int64(prevAddr)]++
+			if row == prevRow {
+				epLen++
+				epLines[line] = struct{}{}
+			} else {
+				closeEpisode()
+				epLen = 1
+				epLines = map[uint64]struct{}{line: {}}
+			}
+		} else {
+			epLen = 1
+			epLines = map[uint64]struct{}{line: {}}
+		}
+		havePrev = true
+		prevAddr, prevRow = rec.Addr, row
+	}
+	closeEpisode()
+
+	if a.Records == 0 {
+		return a, nil
+	}
+	a.MeanGap = gapSum / float64(a.Records)
+	a.UniqueLines = uint64(len(lines))
+	a.FootprintBytes = (maxLine - minLine + 1) * uint64(lineBytes)
+	if a.Records > 1 {
+		same := a.Records - a.RowEpisodes // transitions staying in-row
+		a.SameRowRate = float64(same) / float64(a.Records-1)
+	}
+	if a.RowEpisodes > 0 {
+		a.MeanEpisodeLen = float64(epLenSum) / float64(a.RowEpisodes)
+		a.MeanEpisodeUtil = float64(epUtilSum) / float64(a.RowEpisodes)
+	}
+	for s, n := range strides {
+		a.TopStrides = append(a.TopStrides, StrideCount{Stride: s, Count: n})
+	}
+	sort.Slice(a.TopStrides, func(i, j int) bool {
+		if a.TopStrides[i].Count != a.TopStrides[j].Count {
+			return a.TopStrides[i].Count > a.TopStrides[j].Count
+		}
+		return a.TopStrides[i].Stride < a.TopStrides[j].Stride
+	})
+	if len(a.TopStrides) > 8 {
+		a.TopStrides = a.TopStrides[:8]
+	}
+	return a, nil
+}

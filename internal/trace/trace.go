@@ -1,0 +1,163 @@
+// Package trace defines the memory-reference trace format that drives the
+// simulated cores, plus deterministic synthetic generators that stand in
+// for SPEC CPU2006 (whose traces are proprietary; see DESIGN.md for the
+// substitution argument).
+//
+// A trace is a stream of Records: each record is one data-memory reference
+// annotated with the number of non-memory instructions the core executes
+// before it. Generators are infinite and fully determined by their seed.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Record is one memory reference in a core's instruction stream.
+type Record struct {
+	Gap   uint32 // non-memory instructions executed before this reference
+	Addr  uint64 // byte address (line-aligned addresses are conventional)
+	Write bool
+}
+
+// Reader yields trace records. Next returns io.EOF after the last record.
+type Reader interface {
+	Next() (Record, error)
+}
+
+// SliceReader replays an in-memory record slice.
+type SliceReader struct {
+	recs []Record
+	pos  int
+}
+
+// NewSliceReader wraps recs.
+func NewSliceReader(recs []Record) *SliceReader { return &SliceReader{recs: recs} }
+
+// Next implements Reader.
+func (r *SliceReader) Next() (Record, error) {
+	if r.pos >= len(r.recs) {
+		return Record{}, io.EOF
+	}
+	rec := r.recs[r.pos]
+	r.pos++
+	return rec, nil
+}
+
+// Limit caps an underlying reader at n records.
+type Limit struct {
+	r    Reader
+	left int64
+}
+
+// NewLimit returns a reader that yields at most n records from r.
+func NewLimit(r Reader, n int64) *Limit { return &Limit{r: r, left: n} }
+
+// Next implements Reader.
+func (l *Limit) Next() (Record, error) {
+	if l.left <= 0 {
+		return Record{}, io.EOF
+	}
+	l.left--
+	return l.r.Next()
+}
+
+// File format: magic, version, then fixed 13-byte little-endian records
+// (gap uint32, addr uint64, flags uint8).
+
+var fileMagic = [8]byte{'C', 'A', 'M', 'P', 'S', 'T', 'R', '1'}
+
+const recordBytes = 13
+
+// Writer streams records to an io.Writer in the binary trace format.
+type Writer struct {
+	w     *bufio.Writer
+	count uint64
+	began bool
+}
+
+// NewWriter returns a trace writer on w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Write appends one record.
+func (tw *Writer) Write(rec Record) error {
+	if !tw.began {
+		if _, err := tw.w.Write(fileMagic[:]); err != nil {
+			return err
+		}
+		tw.began = true
+	}
+	var buf [recordBytes]byte
+	binary.LittleEndian.PutUint32(buf[0:4], rec.Gap)
+	binary.LittleEndian.PutUint64(buf[4:12], rec.Addr)
+	if rec.Write {
+		buf[12] = 1
+	}
+	if _, err := tw.w.Write(buf[:]); err != nil {
+		return err
+	}
+	tw.count++
+	return nil
+}
+
+// Count returns the number of records written.
+func (tw *Writer) Count() uint64 { return tw.count }
+
+// Flush flushes buffered output. Call before closing the underlying file.
+func (tw *Writer) Flush() error {
+	if !tw.began {
+		if _, err := tw.w.Write(fileMagic[:]); err != nil {
+			return err
+		}
+		tw.began = true
+	}
+	return tw.w.Flush()
+}
+
+// FileReader reads the binary trace format.
+type FileReader struct {
+	r      *bufio.Reader
+	header bool
+}
+
+// NewFileReader wraps r.
+func NewFileReader(r io.Reader) *FileReader { return &FileReader{r: bufio.NewReader(r)} }
+
+// Next implements Reader.
+func (fr *FileReader) Next() (Record, error) {
+	if !fr.header {
+		var magic [8]byte
+		if _, err := io.ReadFull(fr.r, magic[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return Record{}, fmt.Errorf("trace: truncated header: %w", io.ErrUnexpectedEOF)
+			}
+			return Record{}, err
+		}
+		if magic != fileMagic {
+			return Record{}, fmt.Errorf("trace: bad magic %q", magic[:])
+		}
+		fr.header = true
+	}
+	var buf [recordBytes]byte
+	if _, err := io.ReadFull(fr.r, buf[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Record{}, fmt.Errorf("trace: truncated record: %w", err)
+		}
+		return Record{}, err
+	}
+	rec := Record{
+		Gap:   binary.LittleEndian.Uint32(buf[0:4]),
+		Addr:  binary.LittleEndian.Uint64(buf[4:12]),
+		Write: buf[12] != 0,
+	}
+	if buf[12] > 1 {
+		return Record{}, fmt.Errorf("trace: corrupt flags byte %#x", buf[12])
+	}
+	return rec, nil
+}

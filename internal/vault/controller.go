@@ -1,0 +1,709 @@
+// Package vault implements the HMC vault controller: per-vault read/write
+// queues, FR-FCFS command scheduling over 16 banks with an open-page
+// policy, refresh, and — the paper's subject — the memory-side prefetch
+// engine and prefetch buffer that live in the vault's logic base.
+//
+// The controller treats each demand access or prefetch as an atomic job on
+// its target bank (the bank enforces command-level timing legality); banks
+// run concurrently within a vault, which is where HMC's bank-level
+// parallelism comes from. The shared TSV data path is unmodeled by default,
+// matching the paper's "huge internal bandwidth" premise; setting
+// HMC.TSVGBps bounds it, for the ablation that tests that premise.
+package vault
+
+import (
+	"fmt"
+
+	"camps/internal/config"
+	"camps/internal/dram"
+	"camps/internal/pfbuffer"
+	"camps/internal/prefetch"
+	"camps/internal/sim"
+)
+
+// Request is one demand access delivered to a vault.
+type Request struct {
+	Bank  int
+	Row   int64
+	Line  int
+	Write bool
+	// Done is invoked exactly once with the time the request's data is
+	// ready at the vault (writes complete on acceptance). May be nil.
+	Done func(at sim.Time)
+}
+
+type pending struct {
+	req     Request
+	arrived sim.Time
+}
+
+// Controller is one vault's controller.
+type Controller struct {
+	eng    *sim.Engine
+	cfg    config.Config
+	id     int
+	banks  []*dram.Bank
+	busy   []sim.Time // per-bank: time the current job releases the bank
+	buffer *pfbuffer.Buffer
+	pf     prefetch.Engine
+
+	readQ  []*pending
+	writeQ []*pending
+	fetchQ []prefetch.Fetch
+	storeQ []pfbuffer.RowID
+
+	timing      dram.Timing
+	nextRefresh []sim.Time
+	draining    bool // write-drain mode latch
+
+	pfHitLat  sim.Time
+	lines     int
+	maxFetchQ int
+
+	retryArmed bool
+	retryAt    sim.Time
+
+	// Activation-rate limits shared by the vault's banks: tRRD between
+	// consecutive ACTs and tFAW over any four (power-delivery limits).
+	lastAct sim.Time
+	actHist [4]sim.Time
+	actIdx  int
+
+	// Shared TSV data path for whole-row transfers; free when tsvFree has
+	// passed. tsvRowTime == 0 means the path is unmodeled (the paper's
+	// huge-internal-bandwidth premise).
+	tsvFree    sim.Time
+	tsvRowTime sim.Time
+
+	stats Stats
+}
+
+// New returns a vault controller for vault id using the given prefetch
+// scheme. All controllers of a cube share one simulation engine.
+func New(eng *sim.Engine, cfg config.Config, scheme prefetch.Scheme, id int) *Controller {
+	timing := dram.NewTiming(cfg.HMC.Timing, cfg.DRAMClock())
+	nbanks := cfg.HMC.Banks()
+	c := &Controller{
+		eng:         eng,
+		cfg:         cfg,
+		id:          id,
+		banks:       make([]*dram.Bank, nbanks),
+		busy:        make([]sim.Time, nbanks),
+		buffer:      pfbuffer.New(cfg.PFBuffer.Entries(), cfg.LinesPerRow(), scheme.BufferPolicy()),
+		pfHitLat:    cfg.CPUClock().Cycles(cfg.PFBuffer.HitLatency),
+		lines:       cfg.LinesPerRow(),
+		maxFetchQ:   4 * nbanks,
+		timing:      timing,
+		nextRefresh: make([]sim.Time, nbanks),
+	}
+	if cfg.HMC.TSVGBps > 0 {
+		c.tsvRowTime = sim.Time(int64(cfg.HMC.RowBytes) * 1_000_000_000_000 / (cfg.HMC.TSVGBps * 1_000_000_000))
+	}
+	// Activation-history sentinels in the distant past so tRRD/tFAW never
+	// constrain the first activations.
+	past := -(timing.FAW + timing.RRD + 1)
+	c.lastAct = past
+	for i := range c.actHist {
+		c.actHist[i] = past
+	}
+	for i := range c.banks {
+		c.banks[i] = dram.NewBank(timing)
+		// Stagger per-bank refresh across the tREFI window and arm a daemon
+		// wake so refresh happens even while the vault is otherwise idle
+		// (daemon: refresh alone must not keep the simulation running).
+		c.nextRefresh[i] = timing.REFI * sim.Time(i+1) / sim.Time(nbanks)
+		c.eng.AtDaemon(c.nextRefresh[i], c.schedule)
+	}
+	c.pf = prefetch.New(scheme, cfg, prefetch.Context{
+		Banks:       nbanks,
+		LinesPerRow: c.lines,
+		RowsPerBank: int64(cfg.HMC.RowsPerBank),
+		Queue:       (*queueView)(c),
+	})
+	return c
+}
+
+// queueView adapts the controller's read queue to prefetch.QueueView.
+type queueView Controller
+
+// PendingReadsForRow counts queued demand reads for (bank,row).
+func (q *queueView) PendingReadsForRow(bank int, row int64) int {
+	n := 0
+	for _, p := range q.readQ {
+		if p.req.Bank == bank && p.req.Row == row {
+			n++
+		}
+	}
+	return n
+}
+
+// ID returns the vault number.
+func (c *Controller) ID() int { return c.id }
+
+// Scheme returns the active prefetch scheme.
+func (c *Controller) Scheme() prefetch.Scheme { return c.pf.Scheme() }
+
+// Stats returns the controller's statistics. CollectOps must be called
+// first to fold in per-bank operation counts.
+func (c *Controller) Stats() *Stats { return &c.stats }
+
+// BufferStats returns the prefetch buffer's statistics.
+func (c *Controller) BufferStats() pfbuffer.Stats { return c.buffer.Stats() }
+
+// CollectOps aggregates per-bank DRAM operation counters into Stats.
+func (c *Controller) CollectOps() {
+	c.stats.BankOps = dram.Ops{}
+	for _, b := range c.banks {
+		c.stats.BankOps.Add(b.Ops())
+	}
+}
+
+// Flush drains residency-dependent accounting at end of simulation: every
+// row still in the prefetch buffer is evicted so accuracy statistics cover
+// it, and dirty rows count as writebacks.
+func (c *Controller) Flush() {
+	for _, ev := range c.buffer.Flush() {
+		c.pf.OnEviction(ev)
+		if ev.Dirty {
+			c.stats.RowWritebacks.Inc()
+		}
+	}
+}
+
+// Submit delivers a demand request to the vault at the current time.
+func (c *Controller) Submit(req Request) {
+	if req.Bank < 0 || req.Bank >= len(c.banks) {
+		panic(fmt.Sprintf("vault %d: bank %d out of range", c.id, req.Bank))
+	}
+	if req.Line < 0 || req.Line >= c.lines {
+		panic(fmt.Sprintf("vault %d: line %d out of range", c.id, req.Line))
+	}
+	now := c.eng.Now()
+	if req.Write {
+		c.stats.DemandWrites.Inc()
+	} else {
+		c.stats.DemandReads.Inc()
+	}
+
+	// The controller checks the prefetch buffer before anything else
+	// (§3.1: "the vault controller will first check the prefetch buffer").
+	id := pfbuffer.RowID{Bank: req.Bank, Row: req.Row}
+	if c.buffer.Lookup(id, req.Line, req.Write, now) {
+		c.stats.BufferHits.Inc()
+		c.pf.OnBufferHit(prefetch.Request{Bank: req.Bank, Row: req.Row, Line: req.Line, Write: req.Write})
+		c.complete(req, now, now+c.pfHitLat)
+		return
+	}
+	c.stats.BufferMisses.Inc()
+
+	p := &pending{req: req, arrived: now}
+	if req.Write {
+		// Posted write: the writer does not wait for the drain.
+		c.complete(req, now, now)
+		c.writeQ = append(c.writeQ, p)
+		if len(c.writeQ) > c.stats.MaxWriteQueue {
+			c.stats.MaxWriteQueue = len(c.writeQ)
+		}
+	} else {
+		c.readQ = append(c.readQ, p)
+		if len(c.readQ) > c.stats.MaxReadQueue {
+			c.stats.MaxReadQueue = len(c.readQ)
+		}
+	}
+	c.schedule()
+}
+
+// complete finishes a demand request, recording service latency.
+func (c *Controller) complete(req Request, arrived, ready sim.Time) {
+	c.stats.ServiceLatency.Observe(float64(ready - arrived))
+	if req.Done == nil {
+		return
+	}
+	if ready <= c.eng.Now() {
+		req.Done(ready)
+		return
+	}
+	c.eng.At(ready, func() { req.Done(ready) })
+}
+
+// enqueueFetches admits prefetch directives, deduplicating against the
+// buffer and the queue and bounding queue growth (prefetches are hints and
+// may be discarded under pressure; dropped directives are counted).
+func (c *Controller) enqueueFetches(fs []prefetch.Fetch) {
+	for _, f := range fs {
+		if c.buffer.Contains(pfbuffer.RowID{Bank: f.Bank, Row: f.Row}) {
+			c.stats.FetchesRedundant.Inc()
+			continue
+		}
+		dup := false
+		for _, q := range c.fetchQ {
+			if q.Bank == f.Bank && q.Row == f.Row {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			c.stats.FetchesRedundant.Inc()
+			continue
+		}
+		if len(c.fetchQ) >= c.maxFetchQ {
+			// Drop the oldest directive: newer ones reflect fresher state.
+			c.fetchQ = c.fetchQ[1:]
+			c.stats.FetchesDropped.Inc()
+		}
+		c.fetchQ = append(c.fetchQ, f)
+		if len(c.fetchQ) > c.stats.MaxFetchQueue {
+			c.stats.MaxFetchQueue = len(c.fetchQ)
+		}
+	}
+}
+
+// updateDrainMode latches write draining above the high watermark and
+// releases it below the low watermark.
+func (c *Controller) updateDrainMode() {
+	high := c.cfg.HMC.WriteQueue * 3 / 4
+	low := c.cfg.HMC.WriteQueue / 4
+	if len(c.writeQ) >= high {
+		c.draining = true
+	} else if len(c.writeQ) <= low {
+		c.draining = false
+	}
+}
+
+// schedule starts jobs on every idle bank that has work. If demand work
+// remains queued behind busy banks it arms a retry at the earliest bank
+// release: bank-release events from demand jobs are ordinary events, but
+// refresh completions are daemon events (refresh re-arms itself forever
+// and must not keep the simulation alive), so queued work cannot rely on
+// them for a wake-up.
+func (c *Controller) schedule() {
+	now := c.eng.Now()
+	c.updateDrainMode()
+	for b := range c.banks {
+		if c.busy[b] > now {
+			continue
+		}
+		c.startJob(b, now)
+	}
+	if !c.PendingWork() {
+		return
+	}
+	earliest := sim.Time(-1)
+	for b := range c.banks {
+		if c.busy[b] > now && (earliest < 0 || c.busy[b] < earliest) {
+			earliest = c.busy[b]
+		}
+	}
+	if earliest < 0 {
+		return // work exists but targets idle banks: a job just started will wake us
+	}
+	if c.retryArmed && c.retryAt <= earliest {
+		return
+	}
+	c.retryArmed = true
+	c.retryAt = earliest
+	c.eng.At(earliest, func() {
+		c.retryArmed = false
+		c.schedule()
+	})
+}
+
+// startJob picks and launches at most one job for idle bank b.
+// Priority: refresh (mandatory), drained writes, demand reads, dirty row
+// stores, prefetch fetches, opportunistic writes.
+func (c *Controller) startJob(b int, now sim.Time) {
+	if now >= c.nextRefresh[b] {
+		c.runRefresh(b, now)
+		return
+	}
+	if c.draining {
+		if p := c.takeWrite(b); p != nil {
+			c.runWrite(b, now, p)
+			return
+		}
+	}
+	if p := c.takeRead(b, now); p != nil {
+		c.runRead(b, now, p)
+		return
+	}
+	if id, ok := c.takeStore(b); ok {
+		c.runStore(b, now, id)
+		return
+	}
+	for {
+		f, ok := c.takeFetch(b)
+		if !ok {
+			break
+		}
+		if c.runFetch(b, now, f) {
+			return
+		}
+	}
+	if p := c.takeWrite(b); p != nil {
+		c.runWrite(b, now, p)
+		return
+	}
+}
+
+// takeRead removes and returns the FR-FCFS choice among queued reads for
+// bank b: the oldest row-buffer hit if any, otherwise the oldest request.
+// Reads whose row has meanwhile arrived in the prefetch buffer are served
+// from it immediately and do not occupy the bank.
+func (c *Controller) takeRead(b int, now sim.Time) *pending {
+	for {
+		idx := -1
+		open := c.banks[b].OpenRow()
+		oldest := -1
+		for i, p := range c.readQ {
+			if p.req.Bank != b {
+				continue
+			}
+			if oldest < 0 {
+				oldest = i
+			}
+			if c.cfg.HMC.Scheduler == config.FRFCFS && open != dram.NoRow && p.req.Row == open {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			idx = oldest
+		}
+		if idx < 0 {
+			return nil
+		}
+		p := c.readQ[idx]
+		c.readQ = append(c.readQ[:idx], c.readQ[idx+1:]...)
+		// Service-time buffer re-check: a fetch may have landed the row in
+		// the buffer after this request was queued.
+		id := pfbuffer.RowID{Bank: p.req.Bank, Row: p.req.Row}
+		if c.buffer.Lookup(id, p.req.Line, p.req.Write, now) {
+			c.stats.BufferHits.Inc()
+			c.pf.OnBufferHit(prefetch.Request{Bank: p.req.Bank, Row: p.req.Row, Line: p.req.Line, Write: p.req.Write})
+			c.complete(p.req, p.arrived, now+c.pfHitLat)
+			continue
+		}
+		return p
+	}
+}
+
+// takeWrite removes the scheduler's choice among queued writes for bank b.
+func (c *Controller) takeWrite(b int) *pending {
+	idx := -1
+	open := c.banks[b].OpenRow()
+	oldest := -1
+	for i, p := range c.writeQ {
+		if p.req.Bank != b {
+			continue
+		}
+		if oldest < 0 {
+			oldest = i
+		}
+		if c.cfg.HMC.Scheduler == config.FRFCFS && open != dram.NoRow && p.req.Row == open {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		idx = oldest
+	}
+	if idx < 0 {
+		return nil
+	}
+	p := c.writeQ[idx]
+	c.writeQ = append(c.writeQ[:idx], c.writeQ[idx+1:]...)
+	return p
+}
+
+// takeFetch removes the first queued fetch directive for bank b.
+func (c *Controller) takeFetch(b int) (prefetch.Fetch, bool) {
+	for i, f := range c.fetchQ {
+		if f.Bank == b {
+			c.fetchQ = append(c.fetchQ[:i], c.fetchQ[i+1:]...)
+			return f, true
+		}
+	}
+	return prefetch.Fetch{}, false
+}
+
+// takeStore removes the first queued dirty-row writeback for bank b.
+func (c *Controller) takeStore(b int) (pfbuffer.RowID, bool) {
+	for i, id := range c.storeQ {
+		if id.Bank == b {
+			c.storeQ = append(c.storeQ[:i], c.storeQ[i+1:]...)
+			return id, true
+		}
+	}
+	return pfbuffer.RowID{}, false
+}
+
+// actAllowedAt returns the earliest time a new ACT may issue anywhere in
+// the vault, honoring tRRD and the four-activation window.
+func (c *Controller) actAllowedAt() sim.Time {
+	t := c.lastAct + c.timing.RRD
+	// actHist[actIdx] is the oldest of the last four ACTs: a fifth ACT
+	// within tFAW of it would violate the window.
+	if faw := c.actHist[c.actIdx] + c.timing.FAW; faw > t {
+		t = faw
+	}
+	return t
+}
+
+// recordAct logs an activation for the vault-level rate limits.
+func (c *Controller) recordAct(at sim.Time) {
+	c.lastAct = at
+	c.actHist[c.actIdx] = at
+	c.actIdx = (c.actIdx + 1) % len(c.actHist)
+}
+
+// activate issues an ACT on bank at the earliest legal time >= start,
+// honoring both the bank's own constraints and the vault-level tRRD/tFAW.
+func (c *Controller) activate(bank *dram.Bank, start sim.Time, row int64) {
+	at := maxTime(start, bank.EarliestActivate())
+	at = maxTime(at, c.actAllowedAt())
+	bank.Activate(at, row)
+	c.recordAct(at)
+}
+
+// openFor brings bank b to "row open" for row, returning the row-buffer
+// state encountered, the displaced row (or dram.NoRow) and the time the
+// column path is usable.
+func (c *Controller) openFor(b int, start sim.Time, row int64) (dram.RowState, int64, sim.Time) {
+	bank := c.banks[b]
+	state := bank.Classify(row)
+	displaced := dram.NoRow
+	switch state {
+	case dram.RowHit:
+		// Row already open; column legal at EarliestColumn.
+	case dram.RowMiss:
+		c.activate(bank, start, row)
+	case dram.RowConflict:
+		displaced = bank.OpenRow()
+		preAt := maxTime(start, bank.EarliestPrecharge())
+		ready := bank.Precharge(preAt)
+		c.activate(bank, ready, row)
+	}
+	return state, displaced, maxTime(start, bank.EarliestColumn())
+}
+
+// runRead executes one demand read on bank b.
+func (c *Controller) runRead(b int, now sim.Time, p *pending) {
+	bank := c.banks[b]
+	state, displaced, colAt := c.openFor(b, now, p.req.Row)
+	dataDone := bank.Read(colAt)
+	c.busy[b] = dataDone
+	c.recordRowState(state)
+	c.complete(p.req, p.arrived, dataDone)
+	fetches := c.pf.OnDemandServed(
+		prefetch.Request{Bank: p.req.Bank, Row: p.req.Row, Line: p.req.Line, Write: false},
+		state, displaced)
+	c.dispatchFetches(b, p.req.Row, fetches)
+	c.autoPrecharge(b, p.req.Row)
+	c.eng.At(c.busy[b], c.schedule)
+}
+
+// autoPrecharge closes the row after a demand access under the closed-page
+// policy (after any inline fetch has used it).
+func (c *Controller) autoPrecharge(b int, row int64) {
+	if c.cfg.HMC.PagePolicy != config.ClosedPage {
+		return
+	}
+	bank := c.banks[b]
+	if bank.OpenRow() != row {
+		return // already closed (e.g. a CloseAfter fetch precharged)
+	}
+	release := bank.Precharge(maxTime(c.busy[b], bank.EarliestPrecharge()))
+	if release > c.busy[b] {
+		c.busy[b] = release
+	}
+}
+
+// runWrite drains one demand write to bank b.
+func (c *Controller) runWrite(b int, now sim.Time, p *pending) {
+	// Service-time buffer re-check: a fetch may have landed the row in the
+	// buffer after this write was queued; writing the bank then would
+	// leave the buffered copy stale.
+	id := pfbuffer.RowID{Bank: p.req.Bank, Row: p.req.Row}
+	if c.buffer.Lookup(id, p.req.Line, true, now) {
+		c.stats.BufferHits.Inc()
+		c.pf.OnBufferHit(prefetch.Request{Bank: p.req.Bank, Row: p.req.Row, Line: p.req.Line, Write: true})
+		c.schedule()
+		return
+	}
+	bank := c.banks[b]
+	state, displaced, colAt := c.openFor(b, now, p.req.Row)
+	end := bank.Write(colAt)
+	c.busy[b] = end
+	c.recordRowState(state)
+	c.stats.WriteBursts.Inc()
+	fetches := c.pf.OnDemandServed(
+		prefetch.Request{Bank: p.req.Bank, Row: p.req.Row, Line: p.req.Line, Write: true},
+		state, displaced)
+	c.dispatchFetches(b, p.req.Row, fetches)
+	c.autoPrecharge(b, p.req.Row)
+	c.eng.At(c.busy[b], c.schedule)
+}
+
+// dispatchFetches routes a demand-triggered fetch of the *currently open
+// row* into the same bank job — fetch-then-precharge is one action in the
+// paper's scheme, and deferring it behind queued demand would let the
+// demand stream drain the row from the bank before the copy happens. All
+// other fetch targets go through the queue.
+func (c *Controller) dispatchFetches(b int, servedRow int64, fetches []prefetch.Fetch) {
+	var queued []prefetch.Fetch
+	for _, f := range fetches {
+		if f.Bank == b && f.Row == servedRow && c.banks[b].OpenRow() == servedRow {
+			c.runInlineFetch(b, f)
+			continue
+		}
+		queued = append(queued, f)
+	}
+	c.enqueueFetches(queued)
+}
+
+// runInlineFetch copies the open row to the buffer immediately after the
+// demand column access that triggered it, extending the bank job.
+func (c *Controller) runInlineFetch(b int, f prefetch.Fetch) {
+	id := pfbuffer.RowID{Bank: f.Bank, Row: f.Row}
+	if c.buffer.Contains(id) {
+		c.stats.FetchesRedundant.Inc()
+		return
+	}
+	bank := c.banks[b]
+	start := c.reserveTSV(bank.EarliestColumn())
+	end := c.tsvComplete(start, bank.FetchRow(start, c.lines))
+	release := end
+	if f.CloseAfter {
+		release = bank.Precharge(maxTime(end, bank.EarliestPrecharge()))
+	}
+	if release > c.busy[b] {
+		c.busy[b] = release
+	}
+	c.stats.FetchesIssued.Inc()
+	c.eng.At(end, func() {
+		if ev := c.buffer.Insert(id, f.Touched, end); ev != nil {
+			c.onEviction(*ev)
+		}
+	})
+}
+
+// runFetch copies a whole row into the prefetch buffer. It reports whether
+// the fetch actually occupied the bank (false when the row turned out to be
+// resident already).
+func (c *Controller) runFetch(b int, now sim.Time, f prefetch.Fetch) bool {
+	id := pfbuffer.RowID{Bank: f.Bank, Row: f.Row}
+	if c.buffer.Contains(id) {
+		c.stats.FetchesRedundant.Inc()
+		return false
+	}
+	bank := c.banks[b]
+	_, _, colAt := c.openFor(b, now, f.Row)
+	start := c.reserveTSV(colAt)
+	end := c.tsvComplete(start, bank.FetchRow(start, c.lines))
+	release := end
+	if f.CloseAfter {
+		preAt := maxTime(end, bank.EarliestPrecharge())
+		release = bank.Precharge(preAt)
+	}
+	c.busy[b] = release
+	c.stats.FetchesIssued.Inc()
+	c.eng.At(end, func() {
+		if ev := c.buffer.Insert(id, f.Touched, end); ev != nil {
+			c.onEviction(*ev)
+		}
+	})
+	c.eng.At(release, c.schedule)
+	return true
+}
+
+// reserveTSV returns the earliest time a whole-row TSV transfer may begin
+// at or after `at`, honoring the shared data path when it is modeled.
+func (c *Controller) reserveTSV(at sim.Time) sim.Time {
+	if c.tsvRowTime == 0 {
+		return at
+	}
+	return maxTime(at, c.tsvFree)
+}
+
+// tsvComplete returns when a row transfer that began at start and finished
+// its bank-side bursts at bankEnd has fully crossed the data path, and
+// marks the path busy until then.
+func (c *Controller) tsvComplete(start, bankEnd sim.Time) sim.Time {
+	if c.tsvRowTime == 0 {
+		return bankEnd
+	}
+	end := maxTime(bankEnd, start+c.tsvRowTime)
+	c.tsvFree = end
+	return end
+}
+
+// runStore writes a dirty evicted row back into its bank.
+func (c *Controller) runStore(b int, now sim.Time, id pfbuffer.RowID) {
+	bank := c.banks[b]
+	_, _, colAt := c.openFor(b, now, id.Row)
+	start := c.reserveTSV(colAt)
+	end := c.tsvComplete(start, bank.StoreRow(start, c.lines))
+	preAt := maxTime(end, bank.EarliestPrecharge())
+	release := bank.Precharge(preAt)
+	c.busy[b] = release
+	c.stats.RowWritebacks.Inc()
+	c.eng.At(release, c.schedule)
+}
+
+// runRefresh performs one per-bank refresh (precharging first if needed).
+func (c *Controller) runRefresh(b int, now sim.Time) {
+	bank := c.banks[b]
+	start := now
+	if bank.IsOpen() {
+		preAt := maxTime(now, bank.EarliestPrecharge())
+		start = bank.Precharge(preAt)
+	}
+	done := bank.Refresh(maxTime(start, bank.EarliestActivate()))
+	c.busy[b] = done
+	c.stats.Refreshes.Inc()
+	c.nextRefresh[b] += c.timing.REFI
+	if c.nextRefresh[b] > done {
+		c.eng.AtDaemon(c.nextRefresh[b], c.schedule)
+	}
+	// Daemon: refresh self-sustains forever; queued demand is woken by the
+	// scheduler's explicit retry instead.
+	c.eng.AtDaemon(done, c.schedule)
+}
+
+// onEviction routes a buffer eviction to the engine and queues the row's
+// writeback to its bank. The paper's buffer replaces rows *back to the
+// memory bank* unconditionally (it has no per-row cleanliness tracking);
+// with WritebackDirtyOnly set, only written-to rows go back.
+func (c *Controller) onEviction(ev pfbuffer.Eviction) {
+	c.pf.OnEviction(ev)
+	if ev.Dirty || !c.cfg.PFBuffer.WritebackDirtyOnly {
+		c.storeQ = append(c.storeQ, ev.ID)
+		c.schedule()
+	}
+}
+
+// recordRowState counts a demand access's row-buffer outcome.
+func (c *Controller) recordRowState(s dram.RowState) {
+	switch s {
+	case dram.RowHit:
+		c.stats.RowHits.Inc()
+	case dram.RowMiss:
+		c.stats.RowMisses.Inc()
+	case dram.RowConflict:
+		c.stats.RowConflicts.Inc()
+	}
+}
+
+// PendingWork reports whether the controller still has queued demand,
+// prefetch or writeback work (used by drain loops in tests and at
+// simulation end).
+func (c *Controller) PendingWork() bool {
+	return len(c.readQ) > 0 || len(c.writeQ) > 0 || len(c.storeQ) > 0
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

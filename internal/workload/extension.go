@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"camps/internal/trace"
+)
+
+// Extension benchmarks: datacenter-style profiles beyond the paper's SPEC
+// CPU2006 set, for exercising the public API on modern-looking traffic
+// (the paper's introduction motivates big-data applications). They are
+// kept out of the Table II set so the reproduction figures stay faithful.
+var extensions = map[string]Benchmark{
+	// In-memory cache: huge footprint, almost pure random point lookups —
+	// prefetch-hostile by construction.
+	"memcached": {Class: HighIntensity, Profile: trace.Profile{
+		Name: "memcached", FootprintBytes: 384 * mib, GapMean: 2.2, ReadFrac: 0.90,
+		Streams: 2, StreamProb: 0.08, StrideBytes: line,
+		ConflictProb: 0.04, ConflictStreams: 3, ConflictStride: bankStride, LineBytes: line}},
+	// LSM-ish key-value store: compaction scans (streams) over a large
+	// footprint plus index ping-pong (conflict groups) and random gets.
+	"kvstore": {Class: HighIntensity, Profile: trace.Profile{
+		Name: "kvstore", FootprintBytes: 256 * mib, GapMean: 2.0, ReadFrac: 0.70,
+		Streams: 4, StreamProb: 0.45, StrideBytes: line,
+		ConflictProb: 0.25, ConflictStreams: 4, ConflictStride: bankStride, LineBytes: line}},
+	// Column-scan analytics: long sequential sweeps, read-dominated.
+	"analytics": {Class: HighIntensity, Profile: trace.Profile{
+		Name: "analytics", FootprintBytes: 448 * mib, GapMean: 1.6, ReadFrac: 0.95,
+		Streams: 6, StreamProb: 0.78, StrideBytes: line,
+		ConflictProb: 0.08, ConflictStreams: 3, ConflictStride: bankStride, LineBytes: line}},
+	// Web front end: small hot working set, mostly cache-resident.
+	"webfront": {Class: LowIntensity, Profile: trace.Profile{
+		Name: "webfront", FootprintBytes: 3 * mib, GapMean: 5.0, ReadFrac: 0.82,
+		Streams: 3, StreamProb: 0.50, StrideBytes: line,
+		ConflictProb: 0.12, ConflictStreams: 3, ConflictStride: bankStride, LineBytes: line}},
+}
+
+// ExtensionNames returns the extension benchmark names, sorted.
+func ExtensionNames() []string {
+	out := make([]string, 0, len(extensions))
+	for n := range extensions {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GetAny returns a benchmark from either the Table II set or the
+// extension set.
+func GetAny(name string) (Benchmark, error) {
+	if b, ok := benchmarks[name]; ok {
+		return b, nil
+	}
+	if b, ok := extensions[name]; ok {
+		return b, nil
+	}
+	return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// extensionMixes are eight-core datacenter mixes, named DC*.
+var extensionMixes = []Mix{
+	{"DC1", []string{"memcached", "kvstore", "analytics", "webfront",
+		"memcached", "kvstore", "analytics", "webfront"}},
+	{"DC2", []string{"analytics", "analytics", "kvstore", "kvstore",
+		"memcached", "memcached", "webfront", "webfront"}},
+}
+
+// ExtensionMixes returns the datacenter mixes.
+func ExtensionMixes() []Mix {
+	out := make([]Mix, len(extensionMixes))
+	copy(out, extensionMixes)
+	return out
+}
+
+// AnyMixByID looks a mix up across both Table II and the extension set.
+func AnyMixByID(id string) (Mix, error) {
+	if m, err := MixByID(id); err == nil {
+		return m, nil
+	}
+	for _, m := range extensionMixes {
+		if m.ID == id {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("workload: unknown mix %q", id)
+}
