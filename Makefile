@@ -1,0 +1,28 @@
+# Developer entry points. `make verify` mirrors the CI job exactly.
+
+GO ?= go
+
+.PHONY: build vet test race verify bench figures clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+verify: build vet race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+figures:
+	$(GO) run ./cmd/campbench
+
+clean:
+	$(GO) clean ./...

@@ -28,6 +28,7 @@ import (
 	"camps/internal/cpu"
 	"camps/internal/energy"
 	"camps/internal/hmc"
+	"camps/internal/obs"
 	"camps/internal/pfbuffer"
 	"camps/internal/prefetch"
 	"camps/internal/sim"
@@ -115,6 +116,16 @@ type RunConfig struct {
 	MeasureInstr uint64
 	// Energy is the energy model; zero value means the default model.
 	Energy energy.Model
+	// Obs, when non-nil, turns on the observability layer for this run:
+	// every subsystem registers its counters/histograms with Obs.Registry,
+	// structured events flow to Obs.Tracer, and a registry snapshot tagged
+	// "epoch" is appended every EpochInterval of simulated time (plus one
+	// tagged "final" after the run drains). One Suite serves exactly one
+	// run; the harness gives each parallel cell its own.
+	Obs *obs.Suite
+	// EpochInterval is the simulated time between epoch snapshots
+	// (default 5us when Obs is set; ignored otherwise).
+	EpochInterval sim.Time
 }
 
 func (rc *RunConfig) applyDefaults() {
@@ -132,6 +143,9 @@ func (rc *RunConfig) applyDefaults() {
 	}
 	if rc.Energy == (energy.Model{}) {
 		rc.Energy = energy.Default()
+	}
+	if rc.Obs != nil && rc.EpochInterval <= 0 {
+		rc.EpochInterval = 5 * sim.Microsecond
 	}
 }
 
@@ -298,6 +312,20 @@ func Run(rc RunConfig) (Results, error) {
 		cpus[core] = cpu.NewCore(eng, rc.System, core, readers[core], hier, mem,
 			rc.MeasureInstr, onFinish)
 	}
+	if rc.Obs != nil {
+		cube.Instrument(rc.Obs.Registry, rc.Obs.Tracer)
+		hier.Instrument(rc.Obs.Registry)
+		mshrs.Instrument(rc.Obs.Registry, rc.Obs.Tracer)
+		for _, c := range cpus {
+			c.Instrument(rc.Obs.Registry)
+		}
+		// Epoch snapshots ride a daemon ticker: metrics collection must
+		// never extend the simulation past its natural end.
+		sim.NewDaemonTicker(eng, rc.EpochInterval, func() {
+			rc.Obs.Snap("epoch", int64(eng.Now()))
+			rc.Obs.Tracer.Emit(obs.Event{At: int64(eng.Now()), Type: obs.EvEpoch, Vault: -1})
+		})
+	}
 	for _, c := range cpus {
 		c.Start()
 	}
@@ -379,5 +407,11 @@ func Run(rc RunConfig) (Results, error) {
 	// minus time spent in the low-power state.
 	linkAwake := eng.Now()*sim.Time(2*rc.System.Links.Count) - linkSlept
 	res.Energy = rc.Energy.Estimate(vs.BankOps, vs.BufferHits.Value(), linkBytes, linkAwake, eng.Now())
+
+	if rc.Obs != nil {
+		// The final snapshot lands after Flush, so it includes end-of-run
+		// eviction/writeback accounting the epoch snapshots cannot see.
+		rc.Obs.Snap("final", int64(eng.Now()))
+	}
 	return res, nil
 }

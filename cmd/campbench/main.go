@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"camps"
+	"camps/internal/cliutil"
 	"camps/internal/harness"
 	"camps/internal/plot"
 	"camps/internal/report"
@@ -38,8 +39,17 @@ func main() {
 		seeds      = flag.Int("seeds", 1, "run this many seeds (seed, seed+1, ...) and average the figures")
 		parallel   = flag.Int("parallel", 0, "concurrent simulations (0 = NumCPU)")
 		quiet      = flag.Bool("quiet", false, "suppress progress lines")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and runtime metrics on this address (e.g. localhost:6060)")
+		version    = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		cliutil.PrintVersion(os.Stdout, "campbench")
+		return
+	}
+	if *pprofAddr != "" {
+		cliutil.StartPprof(*pprofAddr, log.Printf)
+	}
 	if *fig != 0 && (*fig < 5 || *fig > 9) {
 		log.Fatalf("figure %d out of range: the paper has figures 5-9", *fig)
 	}

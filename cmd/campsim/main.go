@@ -1,10 +1,15 @@
 // Command campsim runs one workload mix under one prefetching scheme and
 // prints detailed statistics: per-core IPC and MPKI, row-buffer behaviour,
-// prefetch-buffer effectiveness, AMAT, and the energy breakdown.
+// prefetch-buffer effectiveness, AMAT, and the energy breakdown. With
+// -metrics-out / -trace-out the run also produces machine-readable
+// telemetry (epoch metric snapshots as JSONL, simulator events as a
+// Chrome trace_event document); see docs/OBSERVABILITY.md.
 //
 // Usage:
 //
 //	campsim -mix HM1 -scheme CAMPS-MOD [-instr 400000] [-warmup 30000] [-seed 1]
+//	campsim -mix HM1 -metrics-out m.jsonl -trace-out t.json -epoch-table
+//	campsim -pprof localhost:6060 ...   # live pprof + runtime metrics
 package main
 
 import (
@@ -15,6 +20,9 @@ import (
 	"strings"
 
 	"camps"
+	"camps/internal/cliutil"
+	"camps/internal/obs"
+	"camps/internal/report"
 )
 
 func main() {
@@ -22,14 +30,29 @@ func main() {
 	log.SetPrefix("campsim: ")
 
 	var (
-		mixID  = flag.String("mix", "HM1", "workload mix (HM1-4, LM1-4, MX1-4, DC1-2)")
-		scheme = flag.String("scheme", "CAMPS-MOD", "prefetching scheme (BASE, BASE-HIT, MMD, CAMPS, CAMPS-MOD, NONE, ASD)")
-		instr  = flag.Uint64("instr", 400_000, "measured instructions per core")
-		warmup = flag.Uint64("warmup", 50_000, "cache-warmup references per core")
-		seed   = flag.Uint64("seed", 1, "trace seed")
-		vaults = flag.Bool("vaults", false, "print the per-vault load table")
+		mixID      = flag.String("mix", "HM1", "workload mix (HM1-4, LM1-4, MX1-4, DC1-2)")
+		scheme     = flag.String("scheme", "CAMPS-MOD", "prefetching scheme (BASE, BASE-HIT, MMD, CAMPS, CAMPS-MOD, NONE, ASD)")
+		instr      = flag.Uint64("instr", 400_000, "measured instructions per core")
+		warmup     = flag.Uint64("warmup", 50_000, "cache-warmup references per core")
+		seed       = flag.Uint64("seed", 1, "trace seed")
+		vaults     = flag.Bool("vaults", false, "print the per-vault load table")
+		metricsOut = flag.String("metrics-out", "", "write epoch metric snapshots as JSONL to this file")
+		traceOut   = flag.String("trace-out", "", "write simulator events to this file (Chrome trace_event JSON; a .jsonl extension selects JSONL)")
+		traceBuf   = flag.Int("trace-buf", obs.DefaultTraceCap, "event ring-buffer capacity (oldest events overwritten)")
+		epochCyc   = flag.Int64("epoch", 0, "CPU cycles between metric snapshots (0 = default 5us of simulated time)")
+		epochTable = flag.Bool("epoch-table", false, "print the per-epoch conflict/prefetch table")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and runtime metrics on this address (e.g. localhost:6060)")
+		version    = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		cliutil.PrintVersion(os.Stdout, "campsim")
+		return
+	}
+	if *pprofAddr != "" {
+		cliutil.StartPprof(*pprofAddr, log.Printf)
+	}
 
 	mix, err := camps.AnyMixByID(*mixID)
 	if err != nil {
@@ -40,15 +63,35 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := camps.Run(camps.RunConfig{
+	sys := camps.DefaultSystem()
+	rc := camps.RunConfig{
+		System:       sys,
 		Scheme:       s,
 		Mix:          mix,
 		Seed:         *seed,
 		WarmupRefs:   *warmup,
 		MeasureInstr: *instr,
-	})
+	}
+	var suite *obs.Suite
+	if *metricsOut != "" || *traceOut != "" || *epochTable {
+		suite = obs.NewSuite(*traceBuf)
+		rc.Obs = suite
+		if *epochCyc > 0 {
+			rc.EpochInterval = sys.CPUClock().Cycles(*epochCyc)
+		}
+	}
+
+	res, err := camps.Run(rc)
 	if err != nil {
 		log.Fatal(err)
+	}
+	writeTelemetry(suite, *metricsOut, *traceOut)
+	if *epochTable {
+		t := report.Timeseries(suite.Snapshots(), []string{
+			"vault.row_conflicts", "vault.row_hits", "vault.buffer_hits",
+			"vault.fetches_issued", "mshr.stalls",
+		}, true)
+		fmt.Println(t.String())
 	}
 
 	w := os.Stdout
@@ -118,4 +161,45 @@ func main() {
 		fmt.Fprintf(w, "  %-10s %10.4f\n", part.name, part.pj/1e9)
 	}
 	fmt.Fprintf(w, "  %-10s %10.4f\n", "total", e.Total()/1e9)
+}
+
+// writeTelemetry exports the run's observability data: metric snapshots
+// as JSONL and the event trace as Chrome trace_event JSON (or JSONL when
+// the trace path ends in .jsonl).
+func writeTelemetry(suite *obs.Suite, metricsPath, tracePath string) {
+	if suite == nil {
+		return
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := suite.WriteMetrics(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d metric snapshots to %s\n", len(suite.Snapshots()), metricsPath)
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if strings.HasSuffix(tracePath, ".jsonl") {
+			err = suite.Tracer.WriteJSONL(f)
+		} else {
+			err = suite.Tracer.WriteChromeTrace(f)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d events (%d emitted, %d overwritten) to %s\n",
+			suite.Tracer.Len(), suite.Tracer.Total(), suite.Tracer.Dropped(), tracePath)
+	}
 }

@@ -16,10 +16,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 
 	"camps"
+	"camps/internal/cliutil"
 )
 
 // knob describes one sweepable configuration dimension.
@@ -58,16 +60,21 @@ func main() {
 	log.SetPrefix("campsweep: ")
 
 	var (
-		name   = flag.String("knob", "", "knob to sweep (see -list)")
-		values = flag.String("values", "", "comma-separated values")
-		mixID  = flag.String("mix", "HM2", "workload mix")
-		scheme = flag.String("scheme", "CAMPS-MOD", "prefetching scheme")
-		instr  = flag.Uint64("instr", 200_000, "measured instructions per core")
-		seed   = flag.Uint64("seed", 1, "trace seed")
-		list   = flag.Bool("list", false, "list knobs and exit")
+		name    = flag.String("knob", "", "knob to sweep (see -list)")
+		values  = flag.String("values", "", "comma-separated values")
+		mixID   = flag.String("mix", "HM2", "workload mix")
+		scheme  = flag.String("scheme", "CAMPS-MOD", "prefetching scheme")
+		instr   = flag.Uint64("instr", 200_000, "measured instructions per core")
+		seed    = flag.Uint64("seed", 1, "trace seed")
+		list    = flag.Bool("list", false, "list knobs and exit")
+		version = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
 
+	if *version {
+		cliutil.PrintVersion(os.Stdout, "campsweep")
+		return
+	}
 	if *list {
 		for n, k := range knobs {
 			fmt.Printf("%-10s %s\n", n, k.help)

@@ -14,6 +14,7 @@ import (
 	"log"
 	"os"
 
+	"camps/internal/cliutil"
 	"camps/internal/trace"
 	"camps/internal/workload"
 )
@@ -30,9 +31,14 @@ func main() {
 		base    = flag.Uint64("base", 0, "base physical address")
 		compact = flag.Bool("compact", false, "write the varint-delta v2 format (~4x smaller)")
 		list    = flag.Bool("list", false, "list available benchmarks and exit")
+		version = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
 
+	if *version {
+		cliutil.PrintVersion(os.Stdout, "tracegen")
+		return
+	}
 	if *list {
 		names := append(workload.Names(), workload.ExtensionNames()...)
 		for _, name := range names {

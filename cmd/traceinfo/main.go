@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 
+	"camps/internal/cliutil"
 	"camps/internal/trace"
 	"camps/internal/workload"
 )
@@ -24,14 +25,20 @@ func main() {
 	log.SetPrefix("traceinfo: ")
 
 	var (
-		file  = flag.String("f", "", "trace file to analyze")
-		bench = flag.String("bench", "", "generate this benchmark instead of reading a file")
-		n     = flag.Int64("n", 500_000, "references to analyze")
-		seed  = flag.Uint64("seed", 1, "generator seed (with -bench)")
-		lineB = flag.Int64("line", 64, "cache line bytes")
-		rowB  = flag.Int64("row", 1024, "DRAM row bytes")
+		file    = flag.String("f", "", "trace file to analyze")
+		bench   = flag.String("bench", "", "generate this benchmark instead of reading a file")
+		n       = flag.Int64("n", 500_000, "references to analyze")
+		seed    = flag.Uint64("seed", 1, "generator seed (with -bench)")
+		lineB   = flag.Int64("line", 64, "cache line bytes")
+		rowB    = flag.Int64("row", 1024, "DRAM row bytes")
+		version = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		cliutil.PrintVersion(os.Stdout, "traceinfo")
+		return
+	}
 
 	var r trace.Reader
 	var source string

@@ -13,6 +13,7 @@ import (
 	"math/bits"
 
 	"camps/internal/config"
+	"camps/internal/obs"
 	"camps/internal/stats"
 )
 
@@ -248,6 +249,25 @@ func NewHierarchy(cfg config.Config) *Hierarchy {
 		h.l2[i] = NewLevel(cfg.L2)
 	}
 	return h
+}
+
+// Instrument registers the hierarchy's hit/miss counters with the
+// observability registry under the cache.* namespace (private levels are
+// aggregated across cores at snapshot time).
+func (h *Hierarchy) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, l := range h.l1 {
+		reg.CounterFunc("cache.l1_hits", l.hits.Value)
+		reg.CounterFunc("cache.l1_misses", l.misses.Value)
+	}
+	for _, l := range h.l2 {
+		reg.CounterFunc("cache.l2_hits", l.hits.Value)
+		reg.CounterFunc("cache.l2_misses", l.misses.Value)
+	}
+	reg.CounterFunc("cache.l3_hits", h.l3.hits.Value)
+	reg.CounterFunc("cache.l3_misses", h.l3.misses.Value)
 }
 
 // Result describes how an access resolved.

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"camps/internal/obs"
 	"camps/internal/sim"
 	"camps/internal/stats"
 )
@@ -30,6 +31,8 @@ type MSHRFile struct {
 	stalls    stats.Counter
 	issued    stats.Counter
 	peak      int
+
+	tr *obs.Tracer // nil unless Instrument was called
 }
 
 type mshrReq struct {
@@ -50,17 +53,36 @@ func NewMSHRFile(eng *sim.Engine, backend Backend, entries int) *MSHRFile {
 	}
 }
 
+// Instrument registers the MSHR file's counters with the observability
+// registry under the mshr.* namespace and publishes stall/coalesce trace
+// events to tr. Either argument may be nil.
+func (m *MSHRFile) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	m.tr = tr
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("mshr.coalesced", m.coalesced.Value)
+	reg.CounterFunc("mshr.stalls", m.stalls.Value)
+	reg.CounterFunc("mshr.issued", m.issued.Value)
+	reg.GaugeFunc("mshr.outstanding", func() float64 { return float64(len(m.pending)) })
+	reg.GaugeFunc("mshr.peak", func() float64 { return float64(m.peak) })
+}
+
 // ReadLine implements Backend with coalescing and entry bounding.
 func (m *MSHRFile) ReadLine(addr uint64, done func(at sim.Time)) {
 	if waiters, ok := m.pending[addr]; ok {
 		// Secondary miss: ride the outstanding fetch.
 		m.pending[addr] = append(waiters, done)
 		m.coalesced.Inc()
+		m.tr.Emit(obs.Event{At: int64(m.eng.Now()), Type: obs.EvMSHRCoalesce,
+			Vault: -1, Row: int64(addr), Arg: int64(len(m.pending))})
 		return
 	}
 	if len(m.pending) >= m.entries {
 		m.stalls.Inc()
 		m.overflow = append(m.overflow, mshrReq{addr: addr, done: done})
+		m.tr.Emit(obs.Event{At: int64(m.eng.Now()), Type: obs.EvMSHRStall,
+			Vault: -1, Row: int64(addr), Arg: int64(len(m.overflow))})
 		return
 	}
 	m.allocate(addr, done)

@@ -13,6 +13,7 @@ import (
 
 	"camps/internal/cache"
 	"camps/internal/config"
+	"camps/internal/obs"
 	"camps/internal/sim"
 	"camps/internal/stats"
 	"camps/internal/trace"
@@ -91,6 +92,21 @@ func NewCore(eng *sim.Engine, cfg config.Config, id int, r trace.Reader,
 		c.stride = cache.NewStrideDetector(16, d)
 	}
 	return c
+}
+
+// Instrument registers the core's counters with the observability
+// registry under the cpu.* namespace. Registration is additive across
+// cores: snapshots report processor-wide totals. Call before Start.
+func (c *Core) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("cpu.instructions", func() uint64 { return c.instret })
+	reg.CounterFunc("cpu.mem_reads", c.memReads.Value)
+	reg.CounterFunc("cpu.mem_writes", c.memWrites.Value)
+	reg.CounterFunc("cpu.stride_prefetches", c.prefIssued.Value)
+	reg.GaugeFunc("cpu.outstanding_misses", func() float64 { return float64(c.outstanding) })
+	reg.GaugeFunc("cpu.stall_time_ps", func() float64 { return float64(c.stallTime) })
 }
 
 // Start begins execution at the current simulation time.

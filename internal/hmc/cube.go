@@ -2,6 +2,7 @@ package hmc
 
 import (
 	"camps/internal/config"
+	"camps/internal/obs"
 	"camps/internal/pfbuffer"
 	"camps/internal/prefetch"
 	"camps/internal/sim"
@@ -32,6 +33,9 @@ type Cube struct {
 	writes   stats.Counter
 	readAMAT stats.LatencyAccum // request issue -> data back at controller
 	readHist *stats.Histogram   // same samples, 5ns buckets to 2us
+
+	// Observability (nil unless Instrument was called).
+	obsLat *obs.Histogram
 }
 
 // NewCube builds the cube with one prefetch scheme across all vaults.
@@ -59,6 +63,25 @@ func NewCube(eng *sim.Engine, cfg config.Config, scheme prefetch.Scheme) *Cube {
 		c.portFree = make([]sim.Time, cfg.HMC.Vaults)
 	}
 	return c
+}
+
+// Instrument connects the whole memory system to the observability
+// layer: the cube registers its controller-level counters and read-latency
+// histogram under the hmc.* namespace, every vault (and its prefetch
+// buffer) registers under vault.* / pfbuffer.*, and links publish flit
+// events. Either argument may be nil. Call before the simulation starts.
+func (c *Cube) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	if reg != nil {
+		reg.CounterFunc("hmc.reads", c.reads.Value)
+		reg.CounterFunc("hmc.writes", c.writes.Value)
+		c.obsLat = reg.Histogram("hmc.read_latency_ps")
+	}
+	for _, v := range c.vaults {
+		v.Instrument(reg, tr)
+	}
+	for i, l := range c.links {
+		l.Instrument(tr, i)
+	}
 }
 
 // ingress returns the time a request packet of n bytes arriving at the
@@ -117,6 +140,9 @@ func (c *Cube) Access(addr Address, write bool, done func(at sim.Time)) {
 			back := link.SendResponse(ready+c.switchLat, c.headerB+c.lineBytes)
 			c.readAMAT.Observe(float64(back - now))
 			c.readHist.Observe(float64(back - now))
+			if c.obsLat != nil {
+				c.obsLat.ObserveInt(int64(back - now))
+			}
 			if done != nil {
 				if back <= c.eng.Now() {
 					done(back)

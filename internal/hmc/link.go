@@ -2,6 +2,7 @@ package hmc
 
 import (
 	"camps/internal/config"
+	"camps/internal/obs"
 	"camps/internal/sim"
 	"camps/internal/stats"
 )
@@ -27,6 +28,12 @@ type pipe struct {
 	busy    sim.Time // accumulated serialization time, for utilization
 	slept   sim.Time // accumulated time in the low-power state
 	wakes   stats.Counter
+
+	// Observability (nil unless Link.Instrument was called): every packet
+	// is published as an EvLinkFlit stamped with the link id and direction.
+	tr     *obs.Tracer
+	linkID int32
+	dir    int32 // 0 request, 1 response
 }
 
 func newPipe(l config.Links) *pipe {
@@ -62,6 +69,7 @@ func (p *pipe) send(at sim.Time, n int) sim.Time {
 	p.packets.Inc()
 	p.bytes.Add(uint64(n))
 	p.busy += ser
+	p.tr.Emit(obs.Event{At: int64(start), Type: obs.EvLinkFlit, Vault: p.linkID, Bank: p.dir, Arg: int64(n)})
 	return start + ser + p.prop
 }
 
@@ -75,6 +83,13 @@ type Link struct {
 // NewLink builds a link from the configuration.
 func NewLink(l config.Links) *Link {
 	return &Link{req: newPipe(l), resp: newPipe(l)}
+}
+
+// Instrument publishes the link's packets as EvLinkFlit trace events
+// tagged with id. tr may be nil.
+func (l *Link) Instrument(tr *obs.Tracer, id int) {
+	l.req.tr, l.req.linkID, l.req.dir = tr, int32(id), 0
+	l.resp.tr, l.resp.linkID, l.resp.dir = tr, int32(id), 1
 }
 
 // SendRequest transmits a request packet of n bytes at time at; the result

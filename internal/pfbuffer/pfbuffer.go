@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"camps/internal/obs"
 	"camps/internal/sim"
 	"camps/internal/stats"
 )
@@ -148,6 +149,25 @@ func (b *Buffer) Policy() Policy { return b.policy }
 // Stats returns a copy of the accumulated statistics. Call Flush first for
 // end-of-simulation accuracy accounting.
 func (b *Buffer) Stats() Stats { return b.stats }
+
+// Instrument registers the buffer's counters with the observability
+// registry under the pfbuffer.* namespace. Registration is additive: all
+// of a cube's buffers register the same names and snapshots report the
+// aggregate (see obs.Registry.CounterFunc).
+func (b *Buffer) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("pfbuffer.hits", func() uint64 { return b.stats.Hits })
+	reg.CounterFunc("pfbuffer.misses", func() uint64 { return b.stats.Misses })
+	reg.CounterFunc("pfbuffer.inserts", func() uint64 { return b.stats.Inserts })
+	reg.CounterFunc("pfbuffer.evictions", func() uint64 { return b.stats.Evictions })
+	reg.CounterFunc("pfbuffer.used_rows", func() uint64 { return b.stats.UsedRows })
+	reg.CounterFunc("pfbuffer.lines_useful", func() uint64 { return b.stats.LinesUseful })
+	reg.CounterFunc("pfbuffer.dirty_evicts", func() uint64 { return b.stats.DirtyEvicts })
+	reg.CounterFunc("pfbuffer.full_row_evicts", func() uint64 { return b.stats.FullRowEvicts })
+	reg.GaugeFunc("pfbuffer.occupancy", func() float64 { return float64(b.nValid) })
+}
 
 // Contains reports whether the row is resident, without touching any
 // replacement state.

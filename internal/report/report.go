@@ -9,6 +9,7 @@ import (
 
 	"camps"
 	"camps/internal/harness"
+	"camps/internal/obs"
 	"camps/internal/stats"
 )
 
@@ -119,6 +120,57 @@ func MarkdownTable(t *stats.Table) string {
 		sb.WriteByte('\n')
 	}
 	return sb.String()
+}
+
+// Timeseries renders epoch snapshots from the observability layer as a
+// table: one row per snapshot (labelled with its simulation time and
+// tag), one column per requested metric. Metric names resolve against
+// counters first, then gauges, then histogram means; absent names render
+// as 0. With delta set, counter columns show per-epoch increments
+// instead of cumulative totals — the per-epoch breakdown view used to
+// compare scheme behaviour over time.
+func Timeseries(snaps []obs.Snapshot, metrics []string, delta bool) *stats.Table {
+	t := &stats.Table{
+		Title:   "Epoch time series (per-epoch deltas for counters)",
+		Columns: metrics,
+	}
+	if !delta {
+		t.Title = "Epoch time series (cumulative)"
+	}
+	var prev obs.Snapshot
+	for i, s := range snaps {
+		row := make([]float64, len(metrics))
+		for c, name := range metrics {
+			switch {
+			case hasCounter(s, name):
+				v := s.Counters[name]
+				if delta && i > 0 {
+					v -= prev.Counters[name]
+				}
+				row[c] = float64(v)
+			case hasGauge(s, name):
+				row[c] = s.Gauges[name]
+			default:
+				if h, ok := s.Histograms[name]; ok {
+					row[c] = h.Mean
+				}
+			}
+		}
+		label := fmt.Sprintf("%8.1fus %s", float64(s.AtPs)/1e6, s.Tag)
+		t.AddRow(label, row...)
+		prev = s
+	}
+	return t
+}
+
+func hasCounter(s obs.Snapshot, name string) bool {
+	_, ok := s.Counters[name]
+	return ok
+}
+
+func hasGauge(s obs.Snapshot, name string) bool {
+	_, ok := s.Gauges[name]
+	return ok
 }
 
 // Summary renders a compact one-paragraph textual summary of the grid,

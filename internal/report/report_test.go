@@ -6,6 +6,7 @@ import (
 
 	"camps"
 	"camps/internal/harness"
+	"camps/internal/obs"
 	"camps/internal/stats"
 	"camps/internal/workload"
 )
@@ -69,4 +70,52 @@ func TestSummary(t *testing.T) {
 		t.Fatalf("workload count missing: %q", s)
 	}
 	_ = camps.CAMPSMOD // keep the import honest
+}
+
+func TestTimeseries(t *testing.T) {
+	reg := obs.NewRegistry()
+	conflicts := reg.Counter("vault.row_conflicts")
+	queue := reg.Gauge("vault.read_queue")
+	lat := reg.Histogram("vault.service_latency_ps")
+
+	var snaps []obs.Snapshot
+	conflicts.Add(10)
+	queue.Set(2)
+	lat.ObserveInt(100)
+	snaps = append(snaps, reg.Snapshot("epoch", 5_000_000))
+	conflicts.Add(25)
+	queue.Set(4)
+	snaps = append(snaps, reg.Snapshot("final", 10_000_000))
+
+	metrics := []string{"vault.row_conflicts", "vault.read_queue",
+		"vault.service_latency_ps", "no.such.metric"}
+
+	cum := Timeseries(snaps, metrics, false)
+	if cum.Rows() != 2 {
+		t.Fatalf("rows = %d, want 2", cum.Rows())
+	}
+	if got := cum.Value(1, 0); got != 35 {
+		t.Errorf("cumulative conflicts at final = %g, want 35", got)
+	}
+	if got := cum.Value(1, 1); got != 4 {
+		t.Errorf("gauge column = %g, want 4", got)
+	}
+	if got := cum.Value(0, 2); got != 100 {
+		t.Errorf("histogram mean column = %g, want 100", got)
+	}
+	if got := cum.Value(1, 3); got != 0 {
+		t.Errorf("absent metric = %g, want 0", got)
+	}
+
+	delta := Timeseries(snaps, metrics, true)
+	if got := delta.Value(0, 0); got != 10 {
+		t.Errorf("first delta row = %g, want 10 (cumulative so far)", got)
+	}
+	if got := delta.Value(1, 0); got != 25 {
+		t.Errorf("second delta row = %g, want 25", got)
+	}
+	// Row labels carry the simulation time and tag.
+	if s := delta.String(); !strings.Contains(s, "final") || !strings.Contains(s, "10.0us") {
+		t.Errorf("table output missing time/tag labels:\n%s", s)
+	}
 }

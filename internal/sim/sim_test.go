@@ -374,3 +374,34 @@ func TestCancelDaemonEvent(t *testing.T) {
 		t.Fatalf("time = %v", eng.Now())
 	}
 }
+
+func TestDaemonTickerFiresWithoutExtendingRun(t *testing.T) {
+	eng := NewEngine()
+	var ticks []Time
+	tk := NewDaemonTicker(eng, 100, func() { ticks = append(ticks, eng.Now()) })
+	eng.At(250, func() {}) // non-daemon work keeps the run alive to 250
+	eng.Run()              // must stop at 250, not tick forever
+	tk.Stop()
+	want := []Time{100, 200}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+	if eng.Now() != 250 {
+		t.Fatalf("engine stopped at %d, want 250", eng.Now())
+	}
+}
+
+func TestDaemonTickerAloneDoesNotRun(t *testing.T) {
+	eng := NewEngine()
+	fired := 0
+	NewDaemonTicker(eng, 10, func() { fired++ })
+	eng.Run() // only daemon work pending: returns immediately
+	if fired != 0 {
+		t.Fatalf("daemon ticker fired %d times with no live work", fired)
+	}
+}

@@ -9,21 +9,34 @@ type Ticker struct {
 	fn       func()
 	ev       *Event
 	stopped  bool
+	daemon   bool
 }
 
 // NewTicker schedules fn every interval picoseconds, first firing one
 // interval from now.
 func NewTicker(eng *Engine, interval Time, fn func()) *Ticker {
+	return newTicker(eng, interval, fn, false)
+}
+
+// NewDaemonTicker is NewTicker with daemon scheduling: ticks fire while
+// other (non-daemon) work keeps the simulation alive but never extend it.
+// It is the epoch hook used for periodic observability snapshots —
+// metrics collection must not change when a simulation ends.
+func NewDaemonTicker(eng *Engine, interval Time, fn func()) *Ticker {
+	return newTicker(eng, interval, fn, true)
+}
+
+func newTicker(eng *Engine, interval Time, fn func(), daemon bool) *Ticker {
 	if interval <= 0 {
 		panic("sim: ticker interval must be positive")
 	}
-	t := &Ticker{eng: eng, interval: interval, fn: fn}
+	t := &Ticker{eng: eng, interval: interval, fn: fn, daemon: daemon}
 	t.arm()
 	return t
 }
 
 func (t *Ticker) arm() {
-	t.ev = t.eng.After(t.interval, func() {
+	tick := func() {
 		if t.stopped {
 			return
 		}
@@ -31,7 +44,12 @@ func (t *Ticker) arm() {
 		if !t.stopped {
 			t.arm()
 		}
-	})
+	}
+	if t.daemon {
+		t.ev = t.eng.AtDaemon(t.eng.Now()+t.interval, tick)
+	} else {
+		t.ev = t.eng.After(t.interval, tick)
+	}
 }
 
 // Stop cancels future ticks.

@@ -198,3 +198,45 @@ func TestTableSortRows(t *testing.T) {
 		t.Fatal("SortRows did not sort")
 	}
 }
+
+// Regression: LatencyAccum's min/max must seed from the first sample
+// rather than the zero value, so all-negative sample streams (e.g. clock
+// skew deltas) report a negative max instead of a spurious 0.
+func TestLatencyAccumNegativeSamples(t *testing.T) {
+	var a LatencyAccum
+	for _, v := range []float64{-30, -10, -20} {
+		a.Observe(v)
+	}
+	if a.Min() != -30 || a.Max() != -10 {
+		t.Fatalf("min/max = %g/%g, want -30/-10", a.Min(), a.Max())
+	}
+	if !almostEq(a.Mean(), -20) {
+		t.Fatalf("mean = %g, want -20", a.Mean())
+	}
+}
+
+// Regression: Merge must preserve min/max across disjoint negative and
+// positive ranges and not re-seed from zero values.
+func TestLatencyAccumMergeNegativeRanges(t *testing.T) {
+	var neg, pos LatencyAccum
+	neg.Observe(-5)
+	neg.Observe(-1)
+	pos.Observe(2)
+	pos.Observe(8)
+	neg.Merge(pos)
+	if neg.Count() != 4 || neg.Min() != -5 || neg.Max() != 8 {
+		t.Fatalf("merged = count %d min %g max %g, want 4/-5/8", neg.Count(), neg.Min(), neg.Max())
+	}
+	if !almostEq(neg.Sum(), 4) {
+		t.Fatalf("merged sum = %g, want 4", neg.Sum())
+	}
+	// Merging an all-negative accumulator into an empty one must not keep
+	// the empty zero max.
+	var c LatencyAccum
+	var onlyNeg LatencyAccum
+	onlyNeg.Observe(-7)
+	c.Merge(onlyNeg)
+	if c.Max() != -7 || c.Min() != -7 {
+		t.Fatalf("empty.Merge(neg) min/max = %g/%g, want -7/-7", c.Min(), c.Max())
+	}
+}

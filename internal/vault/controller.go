@@ -16,6 +16,7 @@ import (
 
 	"camps/internal/config"
 	"camps/internal/dram"
+	"camps/internal/obs"
 	"camps/internal/pfbuffer"
 	"camps/internal/prefetch"
 	"camps/internal/sim"
@@ -76,6 +77,13 @@ type Controller struct {
 	tsvRowTime sim.Time
 
 	stats Stats
+
+	// Observability (nil unless Instrument was called): tr receives
+	// structured events, obsLat mirrors ServiceLatency into the registry's
+	// shared histogram. Emit on a nil tracer is a no-op, so the hot paths
+	// carry no conditionals.
+	tr     *obs.Tracer
+	obsLat *obs.Histogram
 }
 
 // New returns a vault controller for vault id using the given prefetch
@@ -137,6 +145,42 @@ func (q *queueView) PendingReadsForRow(bank int, row int64) int {
 	return n
 }
 
+// Instrument connects the vault to the observability layer: its counters
+// (and the prefetch buffer's) register with reg under the vault.* and
+// pfbuffer.* namespaces — additively across vaults, so a full cube's
+// snapshot is the aggregate — and structured events flow to tr. Either
+// argument may be nil. Call before the simulation starts.
+func (c *Controller) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	c.tr = tr
+	if reg == nil {
+		return
+	}
+	s := &c.stats
+	reg.CounterFunc("vault.demand_reads", s.DemandReads.Value)
+	reg.CounterFunc("vault.demand_writes", s.DemandWrites.Value)
+	reg.CounterFunc("vault.buffer_hits", s.BufferHits.Value)
+	reg.CounterFunc("vault.buffer_misses", s.BufferMisses.Value)
+	reg.CounterFunc("vault.row_hits", s.RowHits.Value)
+	reg.CounterFunc("vault.row_misses", s.RowMisses.Value)
+	reg.CounterFunc("vault.row_conflicts", s.RowConflicts.Value)
+	reg.CounterFunc("vault.fetches_issued", s.FetchesIssued.Value)
+	reg.CounterFunc("vault.fetches_dropped", s.FetchesDropped.Value)
+	reg.CounterFunc("vault.fetches_redundant", s.FetchesRedundant.Value)
+	reg.CounterFunc("vault.row_writebacks", s.RowWritebacks.Value)
+	reg.CounterFunc("vault.refreshes", s.Refreshes.Value)
+	reg.CounterFunc("vault.write_bursts", s.WriteBursts.Value)
+	reg.GaugeFunc("vault.read_queue", func() float64 { return float64(len(c.readQ)) })
+	reg.GaugeFunc("vault.write_queue", func() float64 { return float64(len(c.writeQ)) })
+	reg.GaugeFunc("vault.fetch_queue", func() float64 { return float64(len(c.fetchQ)) })
+	c.obsLat = reg.Histogram("vault.service_latency_ps")
+	c.buffer.Instrument(reg)
+}
+
+// emit publishes one trace event stamped with this vault's id.
+func (c *Controller) emit(t obs.EventType, at sim.Time, bank int, row, arg int64) {
+	c.tr.Emit(obs.Event{At: int64(at), Type: t, Vault: int32(c.id), Bank: int32(bank), Row: row, Arg: arg})
+}
+
 // ID returns the vault number.
 func (c *Controller) ID() int { return c.id }
 
@@ -190,6 +234,7 @@ func (c *Controller) Submit(req Request) {
 	id := pfbuffer.RowID{Bank: req.Bank, Row: req.Row}
 	if c.buffer.Lookup(id, req.Line, req.Write, now) {
 		c.stats.BufferHits.Inc()
+		c.emit(obs.EvPrefetchHit, now, req.Bank, req.Row, int64(req.Line))
 		c.pf.OnBufferHit(prefetch.Request{Bank: req.Bank, Row: req.Row, Line: req.Line, Write: req.Write})
 		c.complete(req, now, now+c.pfHitLat)
 		return
@@ -216,6 +261,9 @@ func (c *Controller) Submit(req Request) {
 // complete finishes a demand request, recording service latency.
 func (c *Controller) complete(req Request, arrived, ready sim.Time) {
 	c.stats.ServiceLatency.Observe(float64(ready - arrived))
+	if c.obsLat != nil {
+		c.obsLat.ObserveInt(int64(ready - arrived))
+	}
 	if req.Done == nil {
 		return
 	}
@@ -248,8 +296,10 @@ func (c *Controller) enqueueFetches(fs []prefetch.Fetch) {
 		}
 		if len(c.fetchQ) >= c.maxFetchQ {
 			// Drop the oldest directive: newer ones reflect fresher state.
+			old := c.fetchQ[0]
 			c.fetchQ = c.fetchQ[1:]
 			c.stats.FetchesDropped.Inc()
+			c.emit(obs.EvPrefetchDrop, c.eng.Now(), old.Bank, old.Row, 0)
 		}
 		c.fetchQ = append(c.fetchQ, f)
 		if len(c.fetchQ) > c.stats.MaxFetchQueue {
@@ -379,6 +429,7 @@ func (c *Controller) takeRead(b int, now sim.Time) *pending {
 		id := pfbuffer.RowID{Bank: p.req.Bank, Row: p.req.Row}
 		if c.buffer.Lookup(id, p.req.Line, p.req.Write, now) {
 			c.stats.BufferHits.Inc()
+			c.emit(obs.EvPrefetchHit, now, p.req.Bank, p.req.Row, int64(p.req.Line))
 			c.pf.OnBufferHit(prefetch.Request{Bank: p.req.Bank, Row: p.req.Row, Line: p.req.Line, Write: p.req.Write})
 			c.complete(p.req, p.arrived, now+c.pfHitLat)
 			continue
@@ -456,13 +507,15 @@ func (c *Controller) recordAct(at sim.Time) {
 	c.actIdx = (c.actIdx + 1) % len(c.actHist)
 }
 
-// activate issues an ACT on bank at the earliest legal time >= start,
+// activate issues an ACT on bank b at the earliest legal time >= start,
 // honoring both the bank's own constraints and the vault-level tRRD/tFAW.
-func (c *Controller) activate(bank *dram.Bank, start sim.Time, row int64) {
+func (c *Controller) activate(b int, start sim.Time, row int64) {
+	bank := c.banks[b]
 	at := maxTime(start, bank.EarliestActivate())
 	at = maxTime(at, c.actAllowedAt())
 	bank.Activate(at, row)
 	c.recordAct(at)
+	c.emit(obs.EvRowActivate, at, b, row, 0)
 }
 
 // openFor brings bank b to "row open" for row, returning the row-buffer
@@ -476,12 +529,12 @@ func (c *Controller) openFor(b int, start sim.Time, row int64) (dram.RowState, i
 	case dram.RowHit:
 		// Row already open; column legal at EarliestColumn.
 	case dram.RowMiss:
-		c.activate(bank, start, row)
+		c.activate(b, start, row)
 	case dram.RowConflict:
 		displaced = bank.OpenRow()
 		preAt := maxTime(start, bank.EarliestPrecharge())
 		ready := bank.Precharge(preAt)
-		c.activate(bank, ready, row)
+		c.activate(b, ready, row)
 	}
 	return state, displaced, maxTime(start, bank.EarliestColumn())
 }
@@ -492,7 +545,7 @@ func (c *Controller) runRead(b int, now sim.Time, p *pending) {
 	state, displaced, colAt := c.openFor(b, now, p.req.Row)
 	dataDone := bank.Read(colAt)
 	c.busy[b] = dataDone
-	c.recordRowState(state)
+	c.recordRowState(state, now, b, p.req.Row)
 	c.complete(p.req, p.arrived, dataDone)
 	fetches := c.pf.OnDemandServed(
 		prefetch.Request{Bank: p.req.Bank, Row: p.req.Row, Line: p.req.Line, Write: false},
@@ -526,6 +579,7 @@ func (c *Controller) runWrite(b int, now sim.Time, p *pending) {
 	id := pfbuffer.RowID{Bank: p.req.Bank, Row: p.req.Row}
 	if c.buffer.Lookup(id, p.req.Line, true, now) {
 		c.stats.BufferHits.Inc()
+		c.emit(obs.EvPrefetchHit, now, p.req.Bank, p.req.Row, int64(p.req.Line))
 		c.pf.OnBufferHit(prefetch.Request{Bank: p.req.Bank, Row: p.req.Row, Line: p.req.Line, Write: true})
 		c.schedule()
 		return
@@ -534,7 +588,7 @@ func (c *Controller) runWrite(b int, now sim.Time, p *pending) {
 	state, displaced, colAt := c.openFor(b, now, p.req.Row)
 	end := bank.Write(colAt)
 	c.busy[b] = end
-	c.recordRowState(state)
+	c.recordRowState(state, now, b, p.req.Row)
 	c.stats.WriteBursts.Inc()
 	fetches := c.pf.OnDemandServed(
 		prefetch.Request{Bank: p.req.Bank, Row: p.req.Row, Line: p.req.Line, Write: true},
@@ -580,6 +634,7 @@ func (c *Controller) runInlineFetch(b int, f prefetch.Fetch) {
 		c.busy[b] = release
 	}
 	c.stats.FetchesIssued.Inc()
+	c.emit(obs.EvPrefetchIssue, start, b, f.Row, 1)
 	c.eng.At(end, func() {
 		if ev := c.buffer.Insert(id, f.Touched, end); ev != nil {
 			c.onEviction(*ev)
@@ -607,6 +662,7 @@ func (c *Controller) runFetch(b int, now sim.Time, f prefetch.Fetch) bool {
 	}
 	c.busy[b] = release
 	c.stats.FetchesIssued.Inc()
+	c.emit(obs.EvPrefetchIssue, start, b, f.Row, 0)
 	c.eng.At(end, func() {
 		if ev := c.buffer.Insert(id, f.Touched, end); ev != nil {
 			c.onEviction(*ev)
@@ -647,6 +703,7 @@ func (c *Controller) runStore(b int, now sim.Time, id pfbuffer.RowID) {
 	release := bank.Precharge(preAt)
 	c.busy[b] = release
 	c.stats.RowWritebacks.Inc()
+	c.emit(obs.EvRowWriteback, start, b, id.Row, 0)
 	c.eng.At(release, c.schedule)
 }
 
@@ -675,6 +732,7 @@ func (c *Controller) runRefresh(b int, now sim.Time) {
 // memory bank* unconditionally (it has no per-row cleanliness tracking);
 // with WritebackDirtyOnly set, only written-to rows go back.
 func (c *Controller) onEviction(ev pfbuffer.Eviction) {
+	c.emit(obs.EvPrefetchEvict, c.eng.Now(), ev.ID.Bank, ev.ID.Row, int64(ev.Util))
 	c.pf.OnEviction(ev)
 	if ev.Dirty || !c.cfg.PFBuffer.WritebackDirtyOnly {
 		c.storeQ = append(c.storeQ, ev.ID)
@@ -682,15 +740,19 @@ func (c *Controller) onEviction(ev pfbuffer.Eviction) {
 	}
 }
 
-// recordRowState counts a demand access's row-buffer outcome.
-func (c *Controller) recordRowState(s dram.RowState) {
+// recordRowState counts a demand access's row-buffer outcome and
+// publishes it as a trace event.
+func (c *Controller) recordRowState(s dram.RowState, at sim.Time, bank int, row int64) {
 	switch s {
 	case dram.RowHit:
 		c.stats.RowHits.Inc()
+		c.emit(obs.EvRowHit, at, bank, row, 0)
 	case dram.RowMiss:
 		c.stats.RowMisses.Inc()
+		c.emit(obs.EvRowMiss, at, bank, row, 0)
 	case dram.RowConflict:
 		c.stats.RowConflicts.Inc()
+		c.emit(obs.EvRowConflict, at, bank, row, 0)
 	}
 }
 
