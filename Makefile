@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race verify bench figures clean
+.PHONY: build vet test race orchestration verify bench figures clean
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-verify: build vet race
+# The orchestration layer (scheduler, checkpoint store, context-threaded
+# public API) is the most concurrency-sensitive code in the repo; vet and
+# race-test it explicitly even when iterating on a subset of packages.
+orchestration:
+	$(GO) vet ./internal/exp/... ./internal/harness/... .
+	$(GO) test -race ./internal/exp/... ./internal/harness/... .
+
+verify: build vet race orchestration
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -21,6 +21,7 @@
 package camps
 
 import (
+	"context"
 	"fmt"
 
 	"camps/internal/cache"
@@ -249,19 +250,37 @@ func (m cubeMemory) WriteLine(addr uint64) {
 	m.cube.Access(hmc.Address(addr), true, nil)
 }
 
-// Run executes one simulation and returns its measurements.
+// Run executes one simulation and returns its measurements. It is
+// RunContext with a background context: it cannot be cancelled.
 func Run(rc RunConfig) (Results, error) {
+	return RunContext(context.Background(), rc)
+}
+
+// RunContext executes one simulation under ctx and returns its
+// measurements. Cancellation is honored at engine-epoch granularity: a
+// daemon watcher polls ctx every EpochInterval of simulated time (default
+// 5us) and halts the event engine mid-flight, so a long run stops within
+// one epoch of the cancellation instead of draining. A cancelled run
+// returns an error wrapping ctx.Err(), so callers can test it with
+// errors.Is(err, context.Canceled) or context.DeadlineExceeded.
+func RunContext(ctx context.Context, rc RunConfig) (Results, error) {
+	if err := ctx.Err(); err != nil {
+		return Results{}, fmt.Errorf("camps: run cancelled before start: %w", err)
+	}
 	rc.applyDefaults()
 	if err := rc.System.Validate(); err != nil {
-		return Results{}, fmt.Errorf("camps: %w", err)
+		return Results{}, &apiError{msg: "camps: " + err.Error(), refs: []error{ErrInvalidConfig, err}}
 	}
 
 	cores := rc.System.Processor.Cores
 	readers := rc.Readers
 	if readers == nil {
 		if len(rc.Mix.Benchmarks) != cores {
-			return Results{}, fmt.Errorf("camps: mix %q has %d benchmarks, system has %d cores",
-				rc.Mix.ID, len(rc.Mix.Benchmarks), cores)
+			return Results{}, &apiError{
+				msg: fmt.Sprintf("camps: mix %q has %d benchmarks, system has %d cores",
+					rc.Mix.ID, len(rc.Mix.Benchmarks), cores),
+				refs: []error{ErrMixCoreMismatch},
+			}
 		}
 		gens, err := rc.Mix.Generators(rc.Seed)
 		if err != nil {
@@ -272,7 +291,10 @@ func Run(rc RunConfig) (Results, error) {
 			readers[i] = g
 		}
 	} else if len(readers) != cores {
-		return Results{}, fmt.Errorf("camps: %d readers for %d cores", len(readers), cores)
+		return Results{}, &apiError{
+			msg:  fmt.Sprintf("camps: %d readers for %d cores", len(readers), cores),
+			refs: []error{ErrMixCoreMismatch},
+		}
 	}
 
 	eng := sim.NewEngine()
@@ -287,6 +309,9 @@ func Run(rc RunConfig) (Results, error) {
 	// Functional cache warmup: consume WarmupRefs records per core through
 	// the hierarchy with no timing, discarding memory traffic.
 	for core := 0; core < cores; core++ {
+		if err := ctx.Err(); err != nil {
+			return Results{}, fmt.Errorf("camps: run cancelled during warmup: %w", err)
+		}
 		for i := uint64(0); i < rc.WarmupRefs; i++ {
 			rec, err := readers[core].Next()
 			if err != nil {
@@ -326,10 +351,24 @@ func Run(rc RunConfig) (Results, error) {
 			rc.Obs.Tracer.Emit(obs.Event{At: int64(eng.Now()), Type: obs.EvEpoch, Vault: -1})
 		})
 	}
+	if ctx.Done() != nil {
+		// Cancellation hook: poll the context on a daemon ticker so a
+		// cancelled run halts within one epoch of simulated time. Daemon
+		// scheduling guarantees the watcher never extends a run that
+		// drains naturally.
+		interval := rc.EpochInterval
+		if interval <= 0 {
+			interval = 5 * sim.Microsecond
+		}
+		sim.NewHaltWatcher(eng, interval, func() bool { return ctx.Err() != nil })
+	}
 	for _, c := range cpus {
 		c.Start()
 	}
 	eng.Run()
+	if err := ctx.Err(); err != nil {
+		return Results{}, fmt.Errorf("camps: run cancelled at %v simulated: %w", eng.Now(), err)
+	}
 
 	res := Results{
 		Mix:        rc.Mix.ID,

@@ -16,7 +16,6 @@ import (
 	"log"
 	"os"
 
-	"camps"
 	"camps/internal/cliutil"
 	"camps/internal/harness"
 	"camps/internal/plot"
@@ -64,9 +63,9 @@ func main() {
 		Parallelism:  *parallel,
 	}
 	if !*quiet {
-		opts.Progress = func(mix string, scheme camps.Scheme, r camps.Results) {
+		opts.Progress = func(cr harness.CellResult) {
 			fmt.Fprintf(os.Stderr, "done %-4s %-9v ipc=%.4f amat=%.1fns acc=%.2f\n",
-				mix, scheme, r.GeoMeanIPC, r.AMATps/1000, r.LineAccuracy)
+				cr.Mix, cr.Scheme, cr.Results.GeoMeanIPC, cr.Results.AMATps/1000, cr.Results.LineAccuracy)
 		}
 	}
 

@@ -13,11 +13,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"camps"
 	"camps/internal/cliutil"
@@ -41,6 +44,7 @@ func main() {
 		traceBuf   = flag.Int("trace-buf", obs.DefaultTraceCap, "event ring-buffer capacity (oldest events overwritten)")
 		epochCyc   = flag.Int64("epoch", 0, "CPU cycles between metric snapshots (0 = default 5us of simulated time)")
 		epochTable = flag.Bool("epoch-table", false, "print the per-epoch conflict/prefetch table")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none); the simulation halts within one epoch of expiry")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and runtime metrics on this address (e.g. localhost:6060)")
 		version    = flag.Bool("version", false, "print build information and exit")
 	)
@@ -81,7 +85,17 @@ func main() {
 		}
 	}
 
-	res, err := camps.Run(rc)
+	// Ctrl-C (or -timeout expiry) cancels the run: the engine halts within
+	// one epoch of simulated time instead of draining the whole simulation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	res, err := camps.RunContext(ctx, rc)
 	if err != nil {
 		log.Fatal(err)
 	}

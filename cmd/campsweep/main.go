@@ -2,26 +2,39 @@
 // and prints a CSV of the headline metrics for each value — the generic
 // engine behind the ablation studies in DESIGN.md §5.
 //
+// Sweeps run through the experiment orchestrator (internal/exp): cells run
+// in parallel, SIGINT/SIGTERM cancel the campaign mid-simulation, -out
+// checkpoints every completed cell to a JSONL store as it lands, and
+// -resume skips cells that store already holds — an interrupted sweep
+// picks up where it stopped without redoing work.
+//
 // Usage:
 //
 //	campsweep -knob ct -values 8,16,32,64 -mix HM2
 //	campsweep -knob buffer -values 4,8,16,32 -scheme CAMPS-MOD
-//	campsweep -knob threshold -values 1,2,4,8
-//	campsweep -knob window -values 1,2,4,8,16
+//	campsweep -knob threshold -values 1,2,4,8 -out sweep.jsonl
+//	campsweep -knob threshold -values 1,2,4,8 -out sweep.jsonl -resume
+//	campsweep -knob window -values 1,2,4,8,16 -timeout 2m
 //	campsweep -knob tsv -values 0,40,10,2
 //	campsweep -knob vaults -values 8,16,32
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"camps"
 	"camps/internal/cliutil"
+	"camps/internal/exp"
 )
 
 // knob describes one sweepable configuration dimension.
@@ -60,14 +73,19 @@ func main() {
 	log.SetPrefix("campsweep: ")
 
 	var (
-		name    = flag.String("knob", "", "knob to sweep (see -list)")
-		values  = flag.String("values", "", "comma-separated values")
-		mixID   = flag.String("mix", "HM2", "workload mix")
-		scheme  = flag.String("scheme", "CAMPS-MOD", "prefetching scheme")
-		instr   = flag.Uint64("instr", 200_000, "measured instructions per core")
-		seed    = flag.Uint64("seed", 1, "trace seed")
-		list    = flag.Bool("list", false, "list knobs and exit")
-		version = flag.Bool("version", false, "print build information and exit")
+		name     = flag.String("knob", "", "knob to sweep (see -list)")
+		values   = flag.String("values", "", "comma-separated values")
+		mixID    = flag.String("mix", "HM2", "workload mix")
+		scheme   = flag.String("scheme", "CAMPS-MOD", "prefetching scheme")
+		instr    = flag.Uint64("instr", 200_000, "measured instructions per core")
+		seed     = flag.Uint64("seed", 1, "trace seed")
+		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = NumCPU)")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget per cell attempt (0 = none)")
+		retries  = flag.Int("retries", 0, "extra attempts for transiently failing cells")
+		out      = flag.String("out", "", "checkpoint completed cells to this JSONL file")
+		resume   = flag.Bool("resume", false, "skip cells already present in the -out checkpoint")
+		list     = flag.Bool("list", false, "list knobs and exit")
+		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
 
@@ -88,6 +106,9 @@ func main() {
 	if *values == "" {
 		log.Fatal("need -values")
 	}
+	if *resume && *out == "" {
+		log.Fatal("-resume needs -out to name the checkpoint")
+	}
 	mix, err := camps.MixByID(*mixID)
 	if err != nil {
 		log.Fatal(err)
@@ -96,29 +117,54 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	fmt.Printf("# sweep %s on %s under %v (%d instr/core, seed %d)\n",
-		*name, mix.ID, s, *instr, *seed)
-	fmt.Println("value,ipc,amat_ns,conflict_rate,bufhit_rate,row_accuracy,energy_mJ")
+	var vals []int64
 	for _, raw := range strings.Split(*values, ",") {
 		v, err := strconv.ParseInt(strings.TrimSpace(raw), 10, 64)
 		if err != nil {
 			log.Fatalf("bad value %q: %v", raw, err)
 		}
-		sys := camps.DefaultSystem()
-		k.apply(&sys, v)
-		res, err := camps.Run(camps.RunConfig{
-			System:       sys,
-			Scheme:       s,
-			Mix:          mix,
-			Seed:         *seed,
-			MeasureInstr: *instr,
-		})
-		if err != nil {
-			log.Fatalf("value %d: %v", v, err)
-		}
+		vals = append(vals, v)
+	}
+
+	// SIGINT/SIGTERM cancel the campaign: in-flight simulations halt
+	// within one epoch, and every finished cell is already fsync'd to the
+	// checkpoint, so -resume completes the sweep later.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cells := exp.Sweep(mix, s, *seed, *name, vals, k.apply)
+	results, stats, err := exp.Run(ctx, cells, exp.Options{
+		MeasureInstr: *instr,
+		Parallelism:  *parallel,
+		CellTimeout:  *timeout,
+		Retries:      *retries,
+		Checkpoint:   *out,
+		Resume:       *resume,
+		Progress: func(cr exp.CellResult) {
+			state := "done"
+			if cr.Resumed {
+				state = "resumed"
+			}
+			fmt.Fprintf(os.Stderr, "%s %s=%d (attempt %d, %v)\n",
+				state, cr.Knob, cr.Value, cr.Attempt, cr.Duration.Round(time.Millisecond))
+		},
+	})
+
+	fmt.Printf("# sweep %s on %s under %v (%d instr/core, seed %d)\n",
+		*name, mix.ID, s, *instr, *seed)
+	fmt.Println("value,ipc,amat_ns,conflict_rate,bufhit_rate,row_accuracy,energy_mJ")
+	for _, cr := range results {
+		res := cr.Results
 		fmt.Printf("%d,%.4f,%.1f,%.4f,%.4f,%.4f,%.3f\n",
-			v, res.GeoMeanIPC, res.AMATps/1000, res.RowConflictRate,
+			cr.Value, res.GeoMeanIPC, res.AMATps/1000, res.RowConflictRate,
 			res.BufferHitRate, res.PrefetchAccuracy, res.Energy.Total()/1e9)
+	}
+
+	if err != nil {
+		if errors.Is(err, context.Canceled) && *out != "" {
+			log.Printf("interrupted after %d/%d cells; rerun with -resume -out %s to finish",
+				stats.Completed+stats.Resumed, len(cells), *out)
+		}
+		log.Fatal(err)
 	}
 }

@@ -1,0 +1,143 @@
+package camps_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"camps"
+	"camps/internal/sim"
+)
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	rc := quick("HM1", camps.CAMPS)
+	a, err := camps.Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := camps.RunContext(context.Background(), quick("HM1", camps.CAMPS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.GeoMeanIPC != b.GeoMeanIPC || a.RowConflicts != b.RowConflicts || a.ElapsedSim != b.ElapsedSim {
+		t.Fatal("RunContext(Background) diverged from Run")
+	}
+}
+
+func TestRunContextCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := camps.RunContext(ctx, quick("HM1", camps.BASE))
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// pollCtx is a deterministic context: Err flips to Canceled after the
+// Nth poll, letting the test pin exactly which epoch observes the
+// cancellation without wall-clock races.
+type pollCtx struct {
+	context.Context
+	polls       atomic.Int64
+	cancelAfter int64
+	done        chan struct{}
+}
+
+func newPollCtx(after int64) *pollCtx {
+	return &pollCtx{Context: context.Background(), cancelAfter: after, done: make(chan struct{})}
+}
+
+func (c *pollCtx) Done() <-chan struct{} { return c.done }
+
+func (c *pollCtx) Err() error {
+	if c.polls.Add(1) > c.cancelAfter {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestRunContextHaltsWithinOneEpoch(t *testing.T) {
+	// Baseline: how long the run takes unperturbed.
+	full, err := camps.Run(quick("HM1", camps.BASE))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const epoch = 1 * sim.Microsecond
+	if full.ElapsedSim < 10*epoch {
+		t.Fatalf("baseline too short (%v) to observe mid-run cancellation", full.ElapsedSim)
+	}
+
+	// RunContext polls Err once up front and once per core during warmup
+	// (9 polls for the 8-core system); the watcher's first poll during the
+	// measured region is number 10, at 1us of simulated time. Cancelling
+	// on poll 12 means the run must halt at the third epoch tick — 3us —
+	// far before the baseline end.
+	ctx := newPollCtx(11)
+	rc := quick("HM1", camps.BASE)
+	rc.EpochInterval = epoch
+	_, err = camps.RunContext(ctx, rc)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "cancelled at 3000.000ns") {
+		t.Fatalf("run did not halt at the first epoch after cancellation: %v", err)
+	}
+}
+
+func TestRunContextCancelMidRunWallClock(t *testing.T) {
+	// A large instruction budget that would take many seconds to drain;
+	// cancellation must cut it short.
+	rc := quick("HM2", camps.CAMPSMOD)
+	rc.MeasureInstr = 50_000_000
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := camps.RunContext(ctx, rc)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancelled run still took %v", elapsed)
+	}
+}
+
+func TestTypedErrors(t *testing.T) {
+	// Invalid configuration: message preserved, sentinel matched.
+	rc := quick("HM1", camps.BASE)
+	rc.System = camps.DefaultSystem()
+	rc.System.Processor.Cores = -1
+	_, err := camps.Run(rc)
+	if err == nil || !errors.Is(err, camps.ErrInvalidConfig) {
+		t.Fatalf("err = %v, want ErrInvalidConfig match", err)
+	}
+	if !strings.HasPrefix(err.Error(), "camps: ") || !strings.Contains(err.Error(), "cores must be positive") {
+		t.Fatalf("message changed: %q", err.Error())
+	}
+
+	// Mix/core mismatch.
+	rc2 := quick("HM1", camps.BASE)
+	rc2.Mix.Benchmarks = rc2.Mix.Benchmarks[:3]
+	_, err = camps.Run(rc2)
+	if err == nil || !errors.Is(err, camps.ErrMixCoreMismatch) {
+		t.Fatalf("err = %v, want ErrMixCoreMismatch match", err)
+	}
+	if !strings.Contains(err.Error(), "has 3 benchmarks, system has 8 cores") {
+		t.Fatalf("message changed: %q", err.Error())
+	}
+
+	// Unknown mix, via the re-exported sentinel.
+	_, err = camps.MixByID("nope")
+	if err == nil || !errors.Is(err, camps.ErrUnknownMix) {
+		t.Fatalf("err = %v, want ErrUnknownMix match", err)
+	}
+	if _, err := camps.AnyMixByID("nope"); !errors.Is(err, camps.ErrUnknownMix) {
+		t.Fatalf("AnyMixByID err = %v, want ErrUnknownMix match", err)
+	}
+}

@@ -1,0 +1,31 @@
+package camps
+
+import (
+	"errors"
+
+	"camps/internal/workload"
+)
+
+// Sentinel errors for the public API. Every error Run/RunContext returns
+// keeps its original human-readable message and additionally matches one
+// of these under errors.Is, so callers can branch on the failure class
+// without parsing strings.
+var (
+	// ErrInvalidConfig matches every SystemConfig validation failure.
+	ErrInvalidConfig = errors.New("camps: invalid configuration")
+	// ErrMixCoreMismatch matches a workload (mix or explicit readers)
+	// whose width differs from the configured core count.
+	ErrMixCoreMismatch = errors.New("camps: workload does not match core count")
+	// ErrUnknownMix matches failed mix lookups (MixByID, AnyMixByID).
+	ErrUnknownMix = workload.ErrUnknownMix
+)
+
+// apiError pairs an unchanged legacy message with the sentinels (and,
+// where applicable, the underlying cause) it should match under errors.Is.
+type apiError struct {
+	msg  string
+	refs []error
+}
+
+func (e *apiError) Error() string   { return e.msg }
+func (e *apiError) Unwrap() []error { return e.refs }

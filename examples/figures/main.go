@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"log"
 
-	"camps"
 	"camps/internal/harness"
 	"camps/internal/plot"
 	"camps/internal/workload"
@@ -21,8 +20,8 @@ func main() {
 	grid, err := harness.Run(harness.Options{
 		Mixes:        []workload.Mix{hm1, mx1},
 		MeasureInstr: 150_000, // reduced budget: this is a demo
-		Progress: func(mix string, scheme camps.Scheme, r camps.Results) {
-			fmt.Printf("  finished %s under %v (IPC %.4f)\n", mix, scheme, r.GeoMeanIPC)
+		Progress: func(cr harness.CellResult) {
+			fmt.Printf("  finished %s under %v (IPC %.4f)\n", cr.Mix, cr.Scheme, cr.Results.GeoMeanIPC)
 		},
 	})
 	if err != nil {

@@ -2,55 +2,60 @@
 // RUT utilization threshold (paper default 4) and the conflict-table size
 // (paper default 32 entries per vault). These are the ablations DESIGN.md
 // calls out beyond the paper's own evaluation.
+//
+// The sweeps run through the experiment orchestrator (internal/exp), so
+// the cells of each sweep execute in parallel and Ctrl-C cancels the
+// campaign mid-simulation.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"camps"
+	"camps/internal/exp"
 )
 
-func run(sys camps.SystemConfig, mixID string) camps.Results {
-	mix, err := camps.MixByID(mixID)
+func sweep(ctx context.Context, mix camps.Mix, knob string, values []int64,
+	apply func(*camps.SystemConfig, int64)) []exp.CellResult {
+	cells := exp.Sweep(mix, camps.CAMPSMOD, 1, knob, values, apply)
+	results, _, err := exp.Run(ctx, cells, exp.Options{MeasureInstr: 150_000})
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := camps.Run(camps.RunConfig{
-		System:       sys,
-		Scheme:       camps.CAMPSMOD,
-		Mix:          mix,
-		MeasureInstr: 150_000,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	return res
+	return results
 }
 
 func main() {
 	log.SetFlags(0)
 	const mixID = "HM2"
+	mix, err := camps.MixByID(mixID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	fmt.Printf("CAMPS-MOD sensitivity on %s\n\n", mixID)
 
 	fmt.Println("RUT utilization threshold (paper: 4):")
 	fmt.Printf("%10s %10s %12s %12s\n", "threshold", "IPC", "fetches", "accuracy")
-	for _, th := range []int{1, 2, 4, 8} {
-		sys := camps.DefaultSystem()
-		sys.CAMPS.UtilThreshold = th
-		r := run(sys, mixID)
+	for _, cr := range sweep(ctx, mix, "threshold", []int64{1, 2, 4, 8},
+		func(sys *camps.SystemConfig, v int64) { sys.CAMPS.UtilThreshold = int(v) }) {
+		r := cr.Results
 		fmt.Printf("%10d %10.4f %12d %11.1f%%\n",
-			th, r.GeoMeanIPC, r.PrefetchesIssued, r.PrefetchAccuracy*100)
+			cr.Value, r.GeoMeanIPC, r.PrefetchesIssued, r.PrefetchAccuracy*100)
 	}
 
 	fmt.Println("\nconflict-table entries per vault (paper: 32):")
 	fmt.Printf("%10s %10s %12s %12s\n", "entries", "IPC", "fetches", "accuracy")
-	for _, n := range []int{8, 16, 32, 64} {
-		sys := camps.DefaultSystem()
-		sys.CAMPS.CTEntries = n
-		r := run(sys, mixID)
+	for _, cr := range sweep(ctx, mix, "ct", []int64{8, 16, 32, 64},
+		func(sys *camps.SystemConfig, v int64) { sys.CAMPS.CTEntries = int(v) }) {
+		r := cr.Results
 		fmt.Printf("%10d %10.4f %12d %11.1f%%\n",
-			n, r.GeoMeanIPC, r.PrefetchesIssued, r.PrefetchAccuracy*100)
+			cr.Value, r.GeoMeanIPC, r.PrefetchesIssued, r.PrefetchAccuracy*100)
 	}
 }

@@ -1,0 +1,151 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"camps"
+)
+
+// Record is one line of the campaign checkpoint: the cell's identity, the
+// execution bookkeeping, and the full simulation results. camps.Results
+// round-trips through JSON (its embedded counters and latency accumulators
+// have custom marshalers), so a resumed cell is indistinguishable from a
+// freshly-run one to downstream consumers.
+type Record struct {
+	Key     string        `json:"key"`
+	Mix     string        `json:"mix"`
+	Scheme  string        `json:"scheme"`
+	Seed    uint64        `json:"seed"`
+	Knob    string        `json:"knob,omitempty"`
+	Value   int64         `json:"value,omitempty"`
+	Attempt int           `json:"attempt"`
+	WallMS  float64       `json:"wall_ms"`
+	Results camps.Results `json:"results"`
+}
+
+// recordOf builds the checkpoint record for a completed cell.
+func recordOf(c Cell, cr CellResult) Record {
+	return Record{
+		Key:     c.Key(),
+		Mix:     c.Mix.ID,
+		Scheme:  c.Scheme.String(),
+		Seed:    c.Seed,
+		Knob:    c.Knob,
+		Value:   c.Value,
+		Attempt: cr.Attempt,
+		WallMS:  float64(cr.Duration) / float64(time.Millisecond),
+		Results: cr.Results,
+	}
+}
+
+// cellResult reconstitutes a resumed cell from its checkpoint record.
+func (r Record) cellResult() CellResult {
+	scheme, err := camps.ParseScheme(r.Scheme)
+	if err != nil {
+		// The scheme name came from Scheme.String(), so this only happens
+		// on a hand-edited store; fall back to what the results recorded.
+		scheme = r.Results.Scheme
+	}
+	return CellResult{
+		Mix: r.Mix, Scheme: scheme, Seed: r.Seed,
+		Knob: r.Knob, Value: r.Value,
+		Attempt: r.Attempt, Resumed: true, Results: r.Results,
+	}
+}
+
+// Store is an append-only JSONL checkpoint of completed cells. Appends are
+// fsync'd one record at a time, so the file is consistent after a crash or
+// SIGKILL: at worst the final line is truncated, and Open repairs that by
+// truncating back to the last complete record.
+type Store struct {
+	f    *os.File
+	done map[string]Record
+}
+
+// OpenStore opens (creating if needed) the checkpoint at path, loads every
+// complete record, and positions the file for appending. A torn final
+// line — the signature of a crash mid-append — is discarded and truncated
+// away; a corrupt record elsewhere is an error, since it means the file is
+// not one of ours.
+func OpenStore(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{f: f, done: make(map[string]Record)}
+	if err := s.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) load() error {
+	data, err := io.ReadAll(s.f)
+	if err != nil {
+		return err
+	}
+	var valid int // offset just past the last complete, parseable record
+	for valid < len(data) {
+		nl := bytes.IndexByte(data[valid:], '\n')
+		if nl < 0 {
+			break // no trailing newline: a torn append, drop it
+		}
+		line := data[valid : valid+nl+1]
+		var rec Record
+		if jerr := json.Unmarshal(line, &rec); jerr != nil || rec.Key == "" {
+			if valid+nl+1 == len(data) {
+				break // the corrupt line is the file's last: torn append
+			}
+			if jerr == nil {
+				jerr = fmt.Errorf("record has no key")
+			}
+			return fmt.Errorf("checkpoint %s: corrupt record at offset %d: %w", s.f.Name(), valid, jerr)
+		}
+		valid += nl + 1
+		s.done[rec.Key] = rec
+	}
+	if err := s.f.Truncate(int64(valid)); err != nil {
+		return err
+	}
+	_, err = s.f.Seek(int64(valid), io.SeekStart)
+	return err
+}
+
+// Done returns the loaded records keyed by cell key (a copy).
+func (s *Store) Done() map[string]Record {
+	out := make(map[string]Record, len(s.done))
+	for k, v := range s.done {
+		out[k] = v
+	}
+	return out
+}
+
+// Len returns the number of records in the store.
+func (s *Store) Len() int { return len(s.done) }
+
+// Append durably writes one record: marshal, write, fsync. The record is
+// visible to a subsequent OpenStore as soon as Append returns.
+func (s *Store) Append(rec Record) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if _, err := s.f.Write(b); err != nil {
+		return err
+	}
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	s.done[rec.Key] = rec
+	return nil
+}
+
+// Close releases the underlying file.
+func (s *Store) Close() error { return s.f.Close() }

@@ -1,0 +1,149 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"camps"
+	"camps/internal/workload"
+)
+
+func testRecord(seed uint64) Record {
+	mix, _ := workload.MixByID("HM1")
+	c := Cell{Mix: mix, Scheme: camps.CAMPSMOD, Seed: seed}
+	cr := CellResult{Attempt: 1, Results: camps.Results{Mix: "HM1", GeoMeanIPC: float64(seed) * 0.5}}
+	return recordOf(c, cr)
+}
+
+func TestStoreAppendAndReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		if err := s.Append(testRecord(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	done := s2.Done()
+	if len(done) != 3 {
+		t.Fatalf("reloaded %d records", len(done))
+	}
+	rec, ok := done["HM1/CAMPS-MOD/seed=2"]
+	if !ok {
+		t.Fatalf("missing record; keys = %v", done)
+	}
+	if rec.Results.GeoMeanIPC != 1.0 {
+		t.Fatalf("results lost in round-trip: %+v", rec.Results)
+	}
+	cr := rec.cellResult()
+	if !cr.Resumed || cr.Scheme != camps.CAMPSMOD || cr.Seed != 2 {
+		t.Fatalf("cellResult = %+v", cr)
+	}
+}
+
+func TestStoreResultsRoundTripCounters(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecord(1)
+	rec.Results.VaultStats.RowConflicts.Add(77)
+	rec.Results.BufferStats.FirstUseDelay.Observe(123)
+	if err := s.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	back := s2.Done()[rec.Key]
+	if back.Results.VaultStats.RowConflicts.Value() != 77 {
+		t.Fatalf("counter lost: %d", back.Results.VaultStats.RowConflicts.Value())
+	}
+	if back.Results.BufferStats.FirstUseDelay.Mean() != 123 {
+		t.Fatalf("latency accumulator lost: %g", back.Results.BufferStats.FirstUseDelay.Mean())
+	}
+}
+
+func TestStoreTornFinalLineIsRepaired(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Append(testRecord(1))
+	s.Append(testRecord(2))
+	s.Close()
+
+	// Simulate a crash mid-append: a truncated trailing record.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"key":"HM1/CAMPS-MOD/seed=3","resul`)
+	f.Close()
+
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("len after torn append = %d, want 2", s2.Len())
+	}
+	// The torn bytes must be truncated away so the next append is clean.
+	if err := s2.Append(testRecord(3)); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.Len() != 3 {
+		t.Fatalf("len after repair+append = %d, want 3", s3.Len())
+	}
+}
+
+func TestStoreRejectsCorruptInterior(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	if err := os.WriteFile(path, []byte("not json\n{\"key\":\"k\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenStore(path)
+	if err == nil || !strings.Contains(err.Error(), "corrupt record") {
+		t.Fatalf("err = %v, want corrupt-record error", err)
+	}
+}
+
+func TestStoreEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != 0 {
+		t.Fatalf("fresh store has %d records", s.Len())
+	}
+}

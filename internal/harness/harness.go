@@ -1,20 +1,27 @@
 // Package harness drives the paper's evaluation: it runs the (workload mix
 // × prefetching scheme) grid and reformats the measurements into the exact
 // rows and series of every figure in the CAMPS paper's Section 5 (Figures
-// 5 through 9). Cells run in parallel — each simulation owns its own event
-// engine, so cells share nothing.
+// 5 through 9). Cell execution is delegated to the experiment orchestrator
+// (internal/exp): each simulation owns its own event engine, so cells run
+// in parallel and share nothing, and campaigns gain cancellation,
+// timeouts, retries, and checkpoint/resume for free.
 package harness
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
+	"time"
 
 	"camps"
+	"camps/internal/exp"
 	"camps/internal/stats"
 	"camps/internal/workload"
 )
+
+// CellResult is one completed grid cell, as delivered to Progress; see
+// exp.CellResult for the field semantics.
+type CellResult = exp.CellResult
 
 // Options configures a grid run.
 type Options struct {
@@ -32,8 +39,17 @@ type Options struct {
 	Schemes []camps.Scheme
 	// Parallelism bounds concurrently running cells (default NumCPU).
 	Parallelism int
-	// Progress, when non-nil, receives one line per completed cell.
-	Progress func(mix string, scheme camps.Scheme, r camps.Results)
+	// CellTimeout bounds one cell attempt's wall-clock time (0 = none).
+	CellTimeout time.Duration
+	// Retries re-runs transiently failing cells (default 0).
+	Retries int
+	// Checkpoint names a JSONL result store; with Resume set, cells
+	// already present in it are not re-executed.
+	Checkpoint string
+	Resume     bool
+	// Progress, when non-nil, receives every completed cell. Calls are
+	// serialized.
+	Progress func(CellResult)
 }
 
 func (o *Options) applyDefaults() {
@@ -43,8 +59,8 @@ func (o *Options) applyDefaults() {
 	if len(o.Schemes) == 0 {
 		o.Schemes = camps.Schemes()
 	}
-	if o.Parallelism <= 0 {
-		o.Parallelism = runtime.NumCPU()
+	if o.Seed == 0 {
+		o.Seed = 1
 	}
 }
 
@@ -55,8 +71,15 @@ type Grid struct {
 	cells   map[string]map[camps.Scheme]camps.Results
 }
 
-// Run executes the grid.
+// Run executes the grid. It is RunContext with a background context.
 func Run(opts Options) (*Grid, error) {
+	return RunContext(context.Background(), opts)
+}
+
+// RunContext executes the grid under ctx. Cancellation propagates into
+// every in-flight simulation (which stops within one epoch of simulated
+// time) and surfaces as an error wrapping ctx.Err().
+func RunContext(ctx context.Context, opts Options) (*Grid, error) {
 	opts.applyDefaults()
 	g := &Grid{
 		mixes:   opts.Mixes,
@@ -67,55 +90,23 @@ func Run(opts Options) (*Grid, error) {
 		g.cells[m.ID] = make(map[camps.Scheme]camps.Results)
 	}
 
-	type cell struct {
-		mix    workload.Mix
-		scheme camps.Scheme
+	cells := exp.Grid(opts.Mixes, opts.Schemes, []uint64{opts.Seed})
+	results, _, err := exp.Run(ctx, cells, exp.Options{
+		System:       opts.System,
+		WarmupRefs:   opts.WarmupRefs,
+		MeasureInstr: opts.MeasureInstr,
+		Parallelism:  opts.Parallelism,
+		CellTimeout:  opts.CellTimeout,
+		Retries:      opts.Retries,
+		Checkpoint:   opts.Checkpoint,
+		Resume:       opts.Resume,
+		Progress:     opts.Progress,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
 	}
-	var work []cell
-	for _, m := range opts.Mixes {
-		for _, s := range opts.Schemes {
-			work = append(work, cell{mix: m, scheme: s})
-		}
-	}
-
-	var (
-		mu       sync.Mutex
-		wg       sync.WaitGroup
-		sem      = make(chan struct{}, opts.Parallelism)
-		firstErr error
-	)
-	for _, c := range work {
-		c := c
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			res, err := camps.Run(camps.RunConfig{
-				System:       opts.System,
-				Scheme:       c.scheme,
-				Mix:          c.mix,
-				Seed:         opts.Seed,
-				WarmupRefs:   opts.WarmupRefs,
-				MeasureInstr: opts.MeasureInstr,
-			})
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("harness: %s/%v: %w", c.mix.ID, c.scheme, err)
-				}
-				return
-			}
-			g.cells[c.mix.ID][c.scheme] = res
-			if opts.Progress != nil {
-				opts.Progress(c.mix.ID, c.scheme, res)
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	for _, r := range results {
+		g.cells[r.Mix][r.Scheme] = r.Results
 	}
 	return g, nil
 }

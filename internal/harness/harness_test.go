@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -264,5 +266,48 @@ func TestAverageTablesValidation(t *testing.T) {
 	m, err := AverageTables([]*stats.Table{a, a})
 	if err != nil || m.Value(0, 0) != 1 {
 		t.Fatalf("self-average wrong: %v %v", m, err)
+	}
+}
+
+func TestProgressReceivesCellResults(t *testing.T) {
+	hm1, _ := workload.MixByID("HM1")
+	var cells []CellResult
+	_, err := Run(Options{
+		Mixes:        []workload.Mix{hm1},
+		Schemes:      []camps.Scheme{camps.BASE, camps.CAMPSMOD},
+		WarmupRefs:   2_000,
+		MeasureInstr: 25_000,
+		Progress:     func(cr CellResult) { cells = append(cells, cr) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("progress fired %d times, want 2", len(cells))
+	}
+	for _, cr := range cells {
+		if cr.Mix != "HM1" || cr.Seed != 1 || cr.Attempt != 1 || cr.Resumed {
+			t.Fatalf("cell result = %+v", cr)
+		}
+		if cr.Duration <= 0 {
+			t.Fatalf("cell result has no duration: %+v", cr)
+		}
+		if cr.Results.GeoMeanIPC <= 0 {
+			t.Fatalf("cell result carries no measurements: %+v", cr)
+		}
+	}
+}
+
+func TestRunContextCancelledGrid(t *testing.T) {
+	hm1, _ := workload.MixByID("HM1")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, Options{
+		Mixes:        []workload.Mix{hm1},
+		WarmupRefs:   2_000,
+		MeasureInstr: 25_000,
+	})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -405,3 +405,48 @@ func TestDaemonTickerAloneDoesNotRun(t *testing.T) {
 		t.Fatalf("daemon ticker fired %d times with no live work", fired)
 	}
 }
+
+func TestHaltWatcherStopsWithinOneInterval(t *testing.T) {
+	eng := NewEngine()
+	// A chain of non-daemon events that would run to t=10000 unless halted.
+	var step func()
+	step = func() {
+		if eng.Now() < 10000 {
+			eng.After(10, step)
+		}
+	}
+	eng.After(10, step)
+
+	cancelled := false
+	NewHaltWatcher(eng, 100, func() bool { return cancelled })
+	eng.At(555, func() { cancelled = true })
+	eng.Run()
+	if !eng.Halted() {
+		t.Fatal("engine did not halt")
+	}
+	// The condition flips at 555; the next watcher tick is 600.
+	if eng.Now() != 600 {
+		t.Fatalf("halted at %v, want 600 (first tick after cancellation)", eng.Now())
+	}
+}
+
+func TestHaltWatcherNeverExtendsRun(t *testing.T) {
+	eng := NewEngine()
+	NewHaltWatcher(eng, 100, func() bool { return false })
+	eng.At(250, func() {})
+	eng.Run()
+	if eng.Halted() || eng.Now() != 250 {
+		t.Fatalf("halted=%v now=%v, want clean drain at 250", eng.Halted(), eng.Now())
+	}
+}
+
+func TestHaltWatcherStop(t *testing.T) {
+	eng := NewEngine()
+	w := NewHaltWatcher(eng, 100, func() bool { return true })
+	w.Stop()
+	eng.At(250, func() {})
+	eng.Run()
+	if eng.Halted() {
+		t.Fatal("stopped watcher still halted the engine")
+	}
+}

@@ -57,3 +57,20 @@ func (t *Ticker) Stop() {
 	t.stopped = true
 	t.eng.Cancel(t.ev)
 }
+
+// NewHaltWatcher arms a daemon ticker that polls cond every interval of
+// simulated time and halts the engine the first time cond returns true.
+// It is the cancellation hook for externally-driven shutdown (for example
+// a context.Context): the poll rides the daemon queue, so it never extends
+// a simulation that drains naturally, and a cancelled run stops within one
+// interval of simulated time. The returned ticker can be stopped early.
+func NewHaltWatcher(eng *Engine, interval Time, cond func() bool) *Ticker {
+	var t *Ticker
+	t = newTicker(eng, interval, func() {
+		if cond() {
+			eng.Halt()
+			t.Stop()
+		}
+	}, true)
+	return t
+}

@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -27,6 +28,13 @@ func (c *Counter) Value() uint64 { return c.n }
 
 // Reset zeroes the counter.
 func (c *Counter) Reset() { c.n = 0 }
+
+// MarshalJSON encodes the counter as its bare value, so result structs
+// that embed counters round-trip through checkpoint files.
+func (c Counter) MarshalJSON() ([]byte, error) { return json.Marshal(c.n) }
+
+// UnmarshalJSON decodes a bare value produced by MarshalJSON.
+func (c *Counter) UnmarshalJSON(b []byte) error { return json.Unmarshal(b, &c.n) }
 
 // LatencyAccum accumulates a latency distribution's sum/count/min/max.
 type LatencyAccum struct {
@@ -85,6 +93,30 @@ func (a *LatencyAccum) Merge(b LatencyAccum) {
 	}
 	a.count += b.count
 	a.sum += b.sum
+}
+
+// latencyAccumJSON is the wire form of LatencyAccum.
+type latencyAccumJSON struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+// MarshalJSON encodes the accumulator's four moments, so result structs
+// that embed accumulators round-trip through checkpoint files.
+func (a LatencyAccum) MarshalJSON() ([]byte, error) {
+	return json.Marshal(latencyAccumJSON{Count: a.count, Sum: a.sum, Min: a.min, Max: a.max})
+}
+
+// UnmarshalJSON decodes the form produced by MarshalJSON.
+func (a *LatencyAccum) UnmarshalJSON(b []byte) error {
+	var w latencyAccumJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	a.count, a.sum, a.min, a.max = w.Count, w.Sum, w.Min, w.Max
+	return nil
 }
 
 // Histogram is a fixed-bucket histogram with a configurable bucket width.

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -238,5 +239,44 @@ func TestLatencyAccumMergeNegativeRanges(t *testing.T) {
 	c.Merge(onlyNeg)
 	if c.Max() != -7 || c.Min() != -7 {
 		t.Fatalf("empty.Merge(neg) min/max = %g/%g, want -7/-7", c.Min(), c.Max())
+	}
+}
+
+func TestCounterJSONRoundTrip(t *testing.T) {
+	var c Counter
+	c.Add(42)
+	b, err := json.Marshal(struct{ N Counter }{c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"N":42}` {
+		t.Fatalf("counter marshalled as %s", b)
+	}
+	var back struct{ N Counter }
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N.Value() != 42 {
+		t.Fatalf("round-trip = %d, want 42", back.N.Value())
+	}
+}
+
+func TestLatencyAccumJSONRoundTrip(t *testing.T) {
+	var a LatencyAccum
+	a.Observe(10)
+	a.Observe(30)
+	b, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LatencyAccum
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != 2 || back.Sum() != 40 || back.Min() != 10 || back.Max() != 30 {
+		t.Fatalf("round-trip = count %d sum %g min %g max %g", back.Count(), back.Sum(), back.Min(), back.Max())
+	}
+	if back.Mean() != a.Mean() {
+		t.Fatalf("mean %g != %g", back.Mean(), a.Mean())
 	}
 }

@@ -83,5 +83,5 @@ func AnyMixByID(id string) (Mix, error) {
 			return m, nil
 		}
 	}
-	return Mix{}, fmt.Errorf("workload: unknown mix %q", id)
+	return Mix{}, &UnknownMixError{ID: id}
 }

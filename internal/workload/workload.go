@@ -13,6 +13,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -168,6 +169,21 @@ func Mixes() []Mix {
 	return out
 }
 
+// ErrUnknownMix is the sentinel every mix-lookup failure matches via
+// errors.Is, regardless of which identifier was asked for.
+var ErrUnknownMix = errors.New("workload: unknown mix")
+
+// UnknownMixError reports a failed mix lookup; it carries the identifier
+// for errors.As callers and matches ErrUnknownMix under errors.Is.
+type UnknownMixError struct {
+	ID string
+}
+
+func (e *UnknownMixError) Error() string { return fmt.Sprintf("workload: unknown mix %q", e.ID) }
+
+// Is matches the ErrUnknownMix sentinel.
+func (e *UnknownMixError) Is(target error) bool { return target == ErrUnknownMix }
+
 // MixByID looks a mix up by its Table II identifier.
 func MixByID(id string) (Mix, error) {
 	for _, m := range mixes {
@@ -175,7 +191,7 @@ func MixByID(id string) (Mix, error) {
 			return m, nil
 		}
 	}
-	return Mix{}, fmt.Errorf("workload: unknown mix %q", id)
+	return Mix{}, &UnknownMixError{ID: id}
 }
 
 // Group returns the mix family ("HM", "LM" or "MX").

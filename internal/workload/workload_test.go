@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"testing"
 
 	"camps/internal/trace"
@@ -255,5 +256,27 @@ func TestExtensionMixesRunnable(t *testing.T) {
 	// Table II stays exactly twelve mixes.
 	if len(Mixes()) != 12 {
 		t.Fatal("extension mixes leaked into Table II")
+	}
+}
+
+func TestUnknownMixTypedError(t *testing.T) {
+	for _, lookup := range []func(string) (Mix, error){MixByID, AnyMixByID} {
+		_, err := lookup("ZZ9")
+		if err == nil {
+			t.Fatal("lookup of bogus mix succeeded")
+		}
+		if !errors.Is(err, ErrUnknownMix) {
+			t.Fatalf("error %v does not match ErrUnknownMix", err)
+		}
+		var ume *UnknownMixError
+		if !errors.As(err, &ume) || ume.ID != "ZZ9" {
+			t.Fatalf("error %v does not carry the identifier", err)
+		}
+		if got, want := err.Error(), `workload: unknown mix "ZZ9"`; got != want {
+			t.Fatalf("message changed: %q, want %q", got, want)
+		}
+	}
+	if _, err := MixByID("HM1"); err != nil {
+		t.Fatalf("HM1 lookup failed: %v", err)
 	}
 }
