@@ -253,6 +253,7 @@ func (m cubeMemory) WriteLine(addr uint64) {
 // Run executes one simulation and returns its measurements. It is
 // RunContext with a background context: it cannot be cancelled.
 func Run(rc RunConfig) (Results, error) {
+	//lint:allow-noctx Run is the documented context-free entry point; cancellable callers use RunContext
 	return RunContext(context.Background(), rc)
 }
 

@@ -1,0 +1,24 @@
+// Command campslint statically enforces the simulator's determinism and
+// concurrency invariants: no wall clock or global RNG in simulation
+// packages, no map-iteration order leaking into results, context
+// threaded through every orchestration entry point, no tick/duration
+// unit mixing, and no unregistered obs metrics.
+//
+// Usage:
+//
+//	campslint [flags] [packages]
+//
+// Exit status is 0 when the tree is clean, 1 when there are findings,
+// and 2 on usage or load errors. See docs/LINTING.md for the analyzer
+// catalogue and the //lint:allow-* escape hatches.
+package main
+
+import (
+	"os"
+
+	"camps/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -27,6 +27,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -94,8 +95,13 @@ func main() {
 		return
 	}
 	if *list {
-		for n, k := range knobs {
-			fmt.Printf("%-10s %s\n", n, k.help)
+		names := make([]string, 0, len(knobs))
+		for n := range knobs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("%-10s %s\n", n, knobs[n].help)
 		}
 		return
 	}

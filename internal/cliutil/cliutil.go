@@ -11,6 +11,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
 	"runtime"
 	"runtime/debug"
+	"sync"
 )
 
 // PrintVersion writes tool's build information (module version, VCS
@@ -34,6 +35,8 @@ func PrintVersion(w io.Writer, tool string) {
 	}
 }
 
+var registerRuntimeOnce sync.Once
+
 // StartPprof serves net/http/pprof plus a /debug/runtime JSON endpoint
 // (heap, GC, goroutine counts) on addr in a background goroutine, and
 // returns once the listener is being set up. Profiling a simulation is
@@ -41,17 +44,21 @@ func PrintVersion(w io.Writer, tool string) {
 //
 //	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
 func StartPprof(addr string, logf func(format string, args ...any)) {
-	http.HandleFunc("/debug/runtime", func(w http.ResponseWriter, _ *http.Request) {
-		var ms runtime.MemStats
-		runtime.ReadMemStats(&ms)
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]any{
-			"goroutines":     runtime.NumGoroutine(),
-			"heap_alloc":     ms.HeapAlloc,
-			"heap_objects":   ms.HeapObjects,
-			"total_alloc":    ms.TotalAlloc,
-			"num_gc":         ms.NumGC,
-			"pause_total_ns": ms.PauseTotalNs,
+	// DefaultServeMux panics on duplicate registration, so guard against a
+	// second StartPprof in one process (tests, embedded uses).
+	registerRuntimeOnce.Do(func() {
+		http.HandleFunc("/debug/runtime", func(w http.ResponseWriter, _ *http.Request) {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{
+				"goroutines":     runtime.NumGoroutine(),
+				"heap_alloc":     ms.HeapAlloc,
+				"heap_objects":   ms.HeapObjects,
+				"total_alloc":    ms.TotalAlloc,
+				"num_gc":         ms.NumGC,
+				"pause_total_ns": ms.PauseTotalNs,
+			})
 		})
 	})
 	go func() {

@@ -1,0 +1,64 @@
+package cliutil
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPrintVersionNamesTheTool(t *testing.T) {
+	var sb strings.Builder
+	PrintVersion(&sb, "campslint")
+	out := sb.String()
+	if !strings.HasPrefix(out, "campslint") {
+		t.Fatalf("output should lead with the tool name, got %q", out)
+	}
+	// Under `go test` build info is available, so the header carries the
+	// Go toolchain version and module path.
+	if !strings.Contains(out, "go1") {
+		t.Errorf("output should include the Go toolchain version, got %q", out)
+	}
+	if strings.Count(out, "\n") < 1 {
+		t.Errorf("output should be at least one full line, got %q", out)
+	}
+}
+
+func TestPrintVersionDistinctTools(t *testing.T) {
+	// Every CLI shares this helper; the tool name must be the only thing
+	// that differs.
+	var a, b strings.Builder
+	PrintVersion(&a, "campsim")
+	PrintVersion(&b, "campsweep")
+	sa := strings.TrimPrefix(a.String(), "campsim")
+	sb := strings.TrimPrefix(b.String(), "campsweep")
+	if sa != sb {
+		t.Errorf("version payload differs between tools:\n%q\n%q", sa, sb)
+	}
+}
+
+func TestStartPprofAnnouncesEndpoint(t *testing.T) {
+	var (
+		mu   sync.Mutex
+		logs []string
+	)
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		logs = append(logs, format)
+	}
+	// Port 0 would race the listener for the bound address; the
+	// announcement itself is synchronous, which is what we verify. The
+	// server goroutine fails later on the unroutable address without
+	// crashing the process.
+	StartPprof("127.0.0.1:0", logf)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(logs) == 0 || !strings.Contains(logs[0], "pprof") {
+		t.Fatalf("StartPprof should announce the endpoint synchronously, got %v", logs)
+	}
+}
+
+func TestStartPprofNilLogf(t *testing.T) {
+	// Must not panic without a logger.
+	StartPprof("127.0.0.1:0", nil)
+}

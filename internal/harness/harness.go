@@ -73,6 +73,7 @@ type Grid struct {
 
 // Run executes the grid. It is RunContext with a background context.
 func Run(opts Options) (*Grid, error) {
+	//lint:allow-noctx Run is the documented context-free entry point; cancellable callers use RunContext
 	return RunContext(context.Background(), opts)
 }
 

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"camps/internal/cliutil"
+)
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{CtxThread, MapOrder, SimDeterminism, StatsReg, TickArith}
+}
+
+// Exit codes of the campslint CLI.
+const (
+	ExitClean    = 0 // no findings
+	ExitFindings = 1 // at least one finding
+	ExitUsage    = 2 // bad flags, unknown analyzer, or packages failed to load
+)
+
+// Main is the campslint CLI: it loads the packages matching the argument
+// patterns (default ./...), runs the analyzer suite, and prints findings
+// one per line as file:line:col: [analyzer] message. It returns the
+// process exit code.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("campslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: campslint [flags] [packages]\n\nAnalyzers (see docs/LINTING.md):\n")
+		printAnalyzers(stderr)
+		fmt.Fprintf(stderr, "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	var (
+		dir     = fs.String("C", "", "run as if campslint were started in `dir`")
+		only    = fs.String("only", "", "comma-separated `names` of analyzers to run (default all)")
+		list    = fs.Bool("list", false, "list analyzers and exit")
+		version = fs.Bool("version", false, "print build information and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return ExitUsage
+	}
+	if *version {
+		cliutil.PrintVersion(stdout, "campslint")
+		return ExitClean
+	}
+	if *list {
+		printAnalyzers(stdout)
+		return ExitClean
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintf(stderr, "campslint: %v\n", err)
+		return ExitUsage
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := LoadPackages(*dir, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "campslint: %v\n", err)
+		return ExitUsage
+	}
+
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags = append(diags, RunAnalyzer(a, pkg)...)
+		}
+		diags = append(diags, CheckDirectives(pkg, All())...)
+	}
+	sortDiagnostics(diags)
+	for _, d := range diags {
+		d.Pos.Filename = relPath(*dir, d.Pos.Filename)
+		fmt.Fprintln(stdout, d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "campslint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return ExitFindings
+	}
+	return ExitClean
+}
+
+func selectAnalyzers(only string) ([]*Analyzer, error) {
+	all := All()
+	if only == "" {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	known := make([]string, 0, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+		known = append(known, a.Name)
+	}
+	sort.Strings(known)
+	var out []*Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (known: %s)", name, strings.Join(known, ", "))
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-only selected no analyzers")
+	}
+	return out, nil
+}
+
+func printAnalyzers(w io.Writer) {
+	for _, a := range All() {
+		fmt.Fprintf(w, "  %-16s %s (suppress: //lint:allow-%s <reason>)\n", a.Name, a.Doc, a.Allow)
+	}
+}
+
+// relPath shortens abs for display when it sits under the working
+// directory the run was anchored to.
+func relPath(dir, abs string) string {
+	base := dir
+	if base == "" {
+		base = "."
+	}
+	absBase, err := filepath.Abs(base)
+	if err != nil {
+		return abs
+	}
+	if rel, err := filepath.Rel(absBase, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return abs
+}

@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const obsPkgPath = "camps/internal/obs"
+
+// StatsReg flags obs metrics (counters, gauges, histograms) that are
+// constructed directly — &obs.Counter{}, obs.NewHistogram() — and then
+// only ever observed locally, never registered with a Registry, passed
+// on, stored, or returned. Such a metric silently records into a value
+// nothing will ever snapshot, which is how an instrumented subsystem
+// drops out of the epoch tables without anyone noticing. Obtain handles
+// from Registry.Counter/Gauge/Histogram instead, or register a reader
+// via CounterFunc/GaugeFunc.
+var StatsReg = &Analyzer{
+	Name:  "statsreg",
+	Doc:   "flag obs counters/histograms created but never registered",
+	Allow: "unregistered",
+	Run:   runStatsReg,
+}
+
+func runStatsReg(pass *Pass) {
+	if pass.Pkg.Path() == obsPkgPath {
+		return // the registry implementation constructs metrics by design
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncMetrics(pass, fd)
+		}
+	}
+}
+
+// creation is one direct metric construction assigned to a local.
+type creation struct {
+	obj  types.Object
+	kind string
+	pos  ast.Expr // the creating expression, for the report position
+}
+
+func checkFuncMetrics(pass *Pass, fd *ast.FuncDecl) {
+	// Pass 1: find locals whose initializer (or any reassignment) is a
+	// direct metric construction.
+	created := map[types.Object]*creation{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				kind, ok := metricCreation(pass.Info, rhs)
+				if !ok {
+					continue
+				}
+				id, isIdent := n.Lhs[i].(*ast.Ident)
+				if !isIdent || id.Name == "_" {
+					continue
+				}
+				if obj := pass.Info.ObjectOf(id); obj != nil {
+					if _, seen := created[obj]; !seen {
+						created[obj] = &creation{obj: obj, kind: kind, pos: rhs}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) != len(n.Values) {
+				return true
+			}
+			for i, v := range n.Values {
+				kind, ok := metricCreation(pass.Info, v)
+				if !ok {
+					continue
+				}
+				if obj := pass.Info.ObjectOf(n.Names[i]); obj != nil {
+					if _, seen := created[obj]; !seen {
+						created[obj] = &creation{obj: obj, kind: kind, pos: v}
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(created) == 0 {
+		return
+	}
+
+	// Pass 2: a metric is fine if any use lets it reach a registry or an
+	// owner — it is passed as an argument, returned, stored into a
+	// structure, or reassigned from a Registry getter. Only metrics whose
+	// every use is a local method call (h.Observe, c.Inc) are reported.
+	escaped := map[types.Object]bool{}
+	inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.ObjectOf(id)
+		c, tracked := created[obj]
+		if !tracked || escaped[obj] {
+			return true
+		}
+		if classifyMetricUse(pass.Info, id, c, stack) {
+			escaped[obj] = true
+		}
+		return true
+	})
+
+	for _, c := range created {
+		if !escaped[c.obj] {
+			pass.Reportf(c.pos.Pos(),
+				"obs.%s created but never registered: nothing will snapshot it; obtain it from a Registry (%s) or register a reader via %sFunc (or //lint:allow-unregistered <reason>)",
+				c.kind, registryGetter(c.kind), readerFunc(c.kind))
+		}
+	}
+}
+
+// classifyMetricUse reports whether this use of a tracked metric lets it
+// escape to an owner (true) or keeps it local (false).
+func classifyMetricUse(info *types.Info, id *ast.Ident, c *creation, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	parent := stack[len(stack)-1]
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		if p.X != id {
+			return false
+		}
+		// x.Method(...) stays local; x.Method used as a value (e.g. passed
+		// to CounterFunc) escapes.
+		if len(stack) >= 2 {
+			if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == p {
+				return false
+			}
+		}
+		return true
+	case *ast.AssignStmt:
+		for i, lhs := range p.Lhs {
+			if lhs != id {
+				continue
+			}
+			if len(p.Lhs) != len(p.Rhs) {
+				return true
+			}
+			rhs := p.Rhs[i]
+			if rhs == c.pos {
+				return false // the creation itself
+			}
+			if _, isCreation := metricCreation(info, rhs); isCreation {
+				return false // reassigned to another raw construction: still unregistered
+			}
+			// Reassigned from anything else — typically a Registry getter
+			// (the conditional-instrumentation idiom) — counts as owned.
+			return true
+		}
+		return true // appears on the RHS: flows somewhere else
+	case *ast.ValueSpec:
+		for i := range p.Names {
+			if p.Names[i] == id && i < len(p.Values) && p.Values[i] == c.pos {
+				return false
+			}
+		}
+		return true
+	default:
+		// Call argument, return value, composite literal element, map/slice
+		// store, channel send, comparison, &x, ...: the metric reaches code
+		// that can register or own it.
+		return true
+	}
+}
+
+// metricCreation reports whether e directly constructs an obs metric,
+// and which kind.
+func metricCreation(info *types.Info, e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if fn := funcOf(info, e.Fun); isPkgFunc(fn, obsPkgPath, "NewHistogram") {
+			return "Histogram", true
+		}
+		if id, ok := e.Fun.(*ast.Ident); ok && len(e.Args) == 1 {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "new" {
+				if k, ok := metricTypeName(info.TypeOf(e.Args[0])); ok {
+					return k, true
+				}
+			}
+		}
+	case *ast.UnaryExpr:
+		if cl, ok := e.X.(*ast.CompositeLit); ok {
+			return compositeMetric(info, cl)
+		}
+	case *ast.CompositeLit:
+		return compositeMetric(info, e)
+	}
+	return "", false
+}
+
+func compositeMetric(info *types.Info, cl *ast.CompositeLit) (string, bool) {
+	return metricTypeName(info.TypeOf(cl))
+}
+
+func metricTypeName(t types.Type) (string, bool) {
+	for _, k := range [...]string{"Counter", "Gauge", "Histogram"} {
+		if t != nil && namedType(t, obsPkgPath, k) {
+			return k, true
+		}
+	}
+	return "", false
+}
+
+func registryGetter(kind string) string {
+	return "r." + kind + `("name")`
+}
+
+func readerFunc(kind string) string {
+	if kind == "Gauge" {
+		return "Gauge"
+	}
+	return "Counter"
+}

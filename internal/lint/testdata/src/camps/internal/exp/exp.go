@@ -1,0 +1,16 @@
+// Golden file for the simdeterminism allowlist: camps/internal/exp is
+// orchestration, not simulation — its wall-clock timeouts and backoffs
+// are legitimate, so this package must produce zero findings.
+package exp
+
+import "time"
+
+// TimedAttempt may use the wall clock freely: exp is not a simulation
+// package, so nothing here is a finding.
+func TimedAttempt() time.Duration {
+	t0 := time.Now()
+	time.Sleep(time.Millisecond)
+	deadline := time.After(time.Second)
+	_ = deadline
+	return time.Since(t0)
+}

@@ -1,0 +1,18 @@
+// Package sim is a testdata stand-in for camps/internal/sim: just enough
+// surface for the analyzers' type checks (the real package is not
+// imported so the golden files stay self-contained).
+package sim
+
+// Time is simulated time in picoseconds.
+type Time int64
+
+// Common intervals.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+)
+
+// Ps returns the tick count as an explicit picosecond int64 — the
+// sanctioned way to move a sim.Time across a unit boundary.
+func (t Time) Ps() int64 { return int64(t) }

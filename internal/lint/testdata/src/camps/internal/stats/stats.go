@@ -1,0 +1,11 @@
+// Package stats is a testdata stand-in for camps/internal/stats: the
+// Table type whose AddRow the maporder analyzer treats as an ordered
+// sink.
+package stats
+
+type Table struct {
+	Title   string
+	Columns []string
+}
+
+func (t *Table) AddRow(label string, vs ...float64) {}

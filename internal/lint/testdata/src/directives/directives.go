@@ -1,0 +1,13 @@
+// Golden file for directive validation: a misspelled //lint:allow-*
+// suffix must be reported rather than silently suppressing nothing.
+package directives
+
+import "time"
+
+func Typo() time.Time {
+	return time.Now() //lint:allow-wallclok reason that suppresses nothing because of the typo
+}
+
+func Known() time.Time {
+	return time.Now() //lint:allow-wallclock fine here: not a simulation package anyway
+}

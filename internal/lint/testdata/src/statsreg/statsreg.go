@@ -1,0 +1,69 @@
+// Golden file for the statsreg analyzer: metrics constructed directly
+// and only observed locally are findings — nothing will ever snapshot
+// them. Metrics from a registry, metrics that escape, and the
+// conditional-instrumentation idiom are fine.
+package statsreg
+
+import "camps/internal/obs"
+
+func BadLocalHistogram() {
+	h := obs.NewHistogram() // want `obs.Histogram created but never registered`
+	h.Observe(1)
+	h.Observe(2)
+}
+
+func BadLocalCounter() uint64 {
+	c := &obs.Counter{} // want `obs.Counter created but never registered`
+	c.Inc()
+	return c.Value()
+}
+
+func BadLocalGauge() {
+	g := new(obs.Gauge) // want `obs.Gauge created but never registered`
+	g.Set(4.2)
+}
+
+func GoodFromRegistry(r *obs.Registry) {
+	h := r.Histogram("vault.latency_ps")
+	h.Observe(1)
+	c := r.Counter("vault.requests")
+	c.Inc()
+}
+
+func GoodReturned() *obs.Histogram {
+	h := obs.NewHistogram()
+	h.Observe(1)
+	return h
+}
+
+func GoodPassedOn(r *obs.Registry) {
+	c := &obs.Counter{}
+	c.Inc()
+	r.CounterFunc("vault.requests", c.Value) // method value hands the counter to the registry
+}
+
+func GoodStored() map[string]*obs.Histogram {
+	h := obs.NewHistogram()
+	return map[string]*obs.Histogram{"lat": h}
+}
+
+// GoodConditional is the internal/exp idiom: a throwaway histogram that
+// is replaced by the registry-owned one when observability is enabled.
+func GoodConditional(r *obs.Registry, enabled bool) {
+	h := obs.NewHistogram()
+	if enabled {
+		h = r.Histogram("exp.cell_wall_ms")
+	}
+	h.Observe(1)
+}
+
+func BadReassignedCreation() {
+	h := obs.NewHistogram() // want `obs.Histogram created but never registered`
+	h = obs.NewHistogram()
+	h.Observe(1)
+}
+
+func AllowedDirective() {
+	h := obs.NewHistogram() //lint:allow-unregistered scratch accumulator, merged into the suite by hand
+	h.Observe(1)
+}

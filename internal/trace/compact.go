@@ -91,6 +91,12 @@ func (cr *CompactReader) Next() (Record, error) {
 	if !cr.header {
 		var magic [8]byte
 		if _, err := io.ReadFull(cr.r, magic[:]); err != nil {
+			// A stream with no header at all is corrupt, not empty: a valid
+			// empty trace still carries the magic, so plain EOF here would
+			// let a truncated file masquerade as zero records.
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
 			return Record{}, fmt.Errorf("trace: compact header: %w", err)
 		}
 		if magic != compactMagic {
