@@ -11,7 +11,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build vet test race orchestration lint lint-tools fuzz-smoke verify bench figures clean
+.PHONY: build vet test race orchestration lint lint-tools fuzz-smoke fault-smoke verify bench figures clean
 
 build:
 	$(GO) build ./...
@@ -52,13 +52,24 @@ lint-tools:
 	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
 
-# Short deterministic-budget fuzz runs over the two parsers that ingest
-# external bytes: the checkpoint store and the compact trace format.
+# Short deterministic-budget fuzz runs over the parsers that ingest
+# external bytes: the checkpoint store, the compact trace format, and the
+# fault-spec grammar.
 fuzz-smoke:
 	$(GO) test ./internal/exp -run=^$$ -fuzz=FuzzStoreRepair -fuzztime=10s
 	$(GO) test ./internal/trace -run=^$$ -fuzz=FuzzCompactDecode -fuzztime=10s
+	$(GO) test ./internal/fault -run=^$$ -fuzz=FuzzParseSpec -fuzztime=10s
 
-verify: build vet race orchestration lint
+# End-to-end degraded-memory smoke: a full campsim run with every fault
+# class at a nonzero rate and the invariant checker armed. Exercises the
+# whole injection path (links, vaults, buffer, banks) in ~10s of wall
+# clock; any accounting drift under faults aborts with a typed error.
+fault-smoke:
+	$(GO) run ./cmd/campsim -mix HM1 -scheme CAMPS-MOD -instr 60000 -warmup 5000 \
+		-faults 'linkcrc=1e-3,stall=1e-4,poison=2e-3,bankfail=100us,bankfor=2us' \
+		-check -timeout 10s >/dev/null
+
+verify: build vet race orchestration lint fault-smoke
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

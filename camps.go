@@ -22,12 +22,15 @@ package camps
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 
 	"camps/internal/cache"
 	"camps/internal/config"
 	"camps/internal/cpu"
 	"camps/internal/energy"
+	"camps/internal/fault"
 	"camps/internal/hmc"
 	"camps/internal/obs"
 	"camps/internal/pfbuffer"
@@ -127,7 +130,32 @@ type RunConfig struct {
 	// EpochInterval is the simulated time between epoch snapshots
 	// (default 5us when Obs is set; ignored otherwise).
 	EpochInterval sim.Time
+	// Faults describes the run's deterministic fault environment (link CRC
+	// errors, vault stalls, prefetch poisoning, bank blackouts). The zero
+	// value injects nothing and leaves results bit-identical to a run
+	// without the fault layer. Schedules derive from Seed and Faults.Seed,
+	// so the same pair reproduces the same faults exactly.
+	Faults fault.Spec
+	// CheckInvariants arms the epoch invariant checker: every
+	// EpochInterval (default 5us) the memory system's structural
+	// invariants are validated, and a violation halts the run with an
+	// error matching ErrInvariant instead of producing corrupt results.
+	CheckInvariants bool
 }
+
+// FaultSpec re-exports the fault-injection spec for RunConfig.Faults.
+type FaultSpec = fault.Spec
+
+// FaultCounts re-exports the per-run fault-injection counters.
+type FaultCounts = fault.Counts
+
+// ParseFaultSpec parses the textual fault-spec grammar used by the CLIs'
+// -faults flag (e.g. "linkcrc=1e-4,stall=5e-5,bankfail=200us"). Errors
+// match ErrBadFaultSpec.
+func ParseFaultSpec(text string) (FaultSpec, error) { return fault.ParseSpec(text) }
+
+// FaultGrammar returns the -faults grammar description for CLI help.
+func FaultGrammar() string { return fault.Grammar() }
 
 func (rc *RunConfig) applyDefaults() {
 	if rc.System.Processor.Cores == 0 {
@@ -185,6 +213,10 @@ type Results struct {
 
 	// Energy (Figure 9).
 	Energy energy.Breakdown
+
+	// Faults counts the injected faults when RunConfig.Faults was enabled
+	// (nil on fault-free runs, so fault-free JSON output is unchanged).
+	Faults *fault.Counts `json:",omitempty"`
 
 	// Bookkeeping.
 	ElapsedSim    sim.Time
@@ -272,6 +304,9 @@ func RunContext(ctx context.Context, rc RunConfig) (Results, error) {
 	if err := rc.System.Validate(); err != nil {
 		return Results{}, &apiError{msg: "camps: " + err.Error(), refs: []error{ErrInvalidConfig, err}}
 	}
+	if err := rc.Faults.Validate(); err != nil {
+		return Results{}, fmt.Errorf("camps: %w", err) // matches ErrBadFaultSpec
+	}
 
 	cores := rc.System.Processor.Cores
 	readers := rc.Readers
@@ -300,6 +335,23 @@ func RunContext(ctx context.Context, rc RunConfig) (Results, error) {
 
 	eng := sim.NewEngine()
 	cube := hmc.NewCube(eng, rc.System, rc.Scheme)
+	// Fault injection: all schedules derive from (Seed, Faults.Seed), so
+	// reruns with the same pair see identical faults. A disabled spec wires
+	// nothing, keeping the fault-free fast path untouched.
+	var inj *fault.Injector
+	if rc.Faults.Enabled() {
+		inj = fault.NewInjector(rc.Faults, rc.Seed)
+		cube.SetFaults(inj)
+	}
+	var chk *sim.Checker
+	if rc.CheckInvariants {
+		interval := rc.EpochInterval
+		if interval <= 0 {
+			interval = 5 * sim.Microsecond
+		}
+		chk = sim.NewChecker(eng, interval)
+		chk.Register(cube.Invariants()...)
+	}
 	hier := cache.NewHierarchy(rc.System)
 	// The shared L3 MSHR file sits between the cores and the cube: it
 	// coalesces concurrent misses to one line and bounds distinct
@@ -315,8 +367,13 @@ func RunContext(ctx context.Context, rc RunConfig) (Results, error) {
 		}
 		for i := uint64(0); i < rc.WarmupRefs; i++ {
 			rec, err := readers[core].Next()
-			if err != nil {
+			if errors.Is(err, io.EOF) {
 				break // finite reader exhausted: measured region sees EOF
+			}
+			if err != nil {
+				// A malformed or truncated trace must fail the run, not
+				// silently shrink the warmup.
+				return Results{}, fmt.Errorf("camps: core %d warmup trace: %w", core, err)
 			}
 			hier.Access(core, rec.Addr, rec.Write)
 		}
@@ -340,6 +397,7 @@ func RunContext(ctx context.Context, rc RunConfig) (Results, error) {
 	}
 	if rc.Obs != nil {
 		cube.Instrument(rc.Obs.Registry, rc.Obs.Tracer)
+		inj.Instrument(rc.Obs.Registry, rc.Obs.Tracer) // nil-safe no-op when fault-free
 		hier.Instrument(rc.Obs.Registry)
 		mshrs.Instrument(rc.Obs.Registry, rc.Obs.Tracer)
 		for _, c := range cpus {
@@ -370,11 +428,21 @@ func RunContext(ctx context.Context, rc RunConfig) (Results, error) {
 	if err := ctx.Err(); err != nil {
 		return Results{}, fmt.Errorf("camps: run cancelled at %v simulated: %w", eng.Now(), err)
 	}
+	if chk != nil {
+		chk.Final()
+		if err := chk.Err(); err != nil {
+			return Results{}, fmt.Errorf("camps: %w", err) // matches ErrInvariant
+		}
+	}
 
 	res := Results{
 		Mix:        rc.Mix.ID,
 		Scheme:     rc.Scheme,
 		ElapsedSim: eng.Now(),
+	}
+	if inj != nil {
+		counts := inj.Counts()
+		res.Faults = &counts
 	}
 	for core, c := range cpus {
 		if err := c.Err(); err != nil {

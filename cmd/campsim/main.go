@@ -9,23 +9,29 @@
 //
 //	campsim -mix HM1 -scheme CAMPS-MOD [-instr 400000] [-warmup 30000] [-seed 1]
 //	campsim -mix HM1 -metrics-out m.jsonl -trace-out t.json -epoch-table
+//	campsim -faults linkcrc=1e-4,stall=5e-5 -check    # degraded memory
+//	campsim -trace a.trace,b.trace,...                # replay file traces
 //	campsim -pprof localhost:6060 ...   # live pprof + runtime metrics
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 
 	"camps"
 	"camps/internal/cliutil"
+	"camps/internal/exp"
 	"camps/internal/obs"
 	"camps/internal/report"
+	"camps/internal/trace"
 )
 
 func main() {
@@ -46,6 +52,9 @@ func main() {
 		epochTable = flag.Bool("epoch-table", false, "print the per-epoch conflict/prefetch table")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none); the simulation halts within one epoch of expiry")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and runtime metrics on this address (e.g. localhost:6060)")
+		faultSpec  = flag.String("faults", "", "deterministic fault-injection spec; "+camps.FaultGrammar())
+		check      = flag.Bool("check", false, "run the epoch invariant checker (abort with a typed error on violation)")
+		traceIn    = flag.String("trace", "", "comma-separated per-core trace files replayed instead of -mix (one path serves every core)")
 		version    = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -69,12 +78,31 @@ func main() {
 
 	sys := camps.DefaultSystem()
 	rc := camps.RunConfig{
-		System:       sys,
-		Scheme:       s,
-		Mix:          mix,
-		Seed:         *seed,
-		WarmupRefs:   *warmup,
-		MeasureInstr: *instr,
+		System:          sys,
+		Scheme:          s,
+		Mix:             mix,
+		Seed:            *seed,
+		WarmupRefs:      *warmup,
+		MeasureInstr:    *instr,
+		CheckInvariants: *check,
+	}
+	if *faultSpec != "" {
+		spec, err := camps.ParseFaultSpec(*faultSpec)
+		if err != nil {
+			log.Fatalf("-faults: %v", err)
+		}
+		rc.Faults = spec
+	}
+	benchNames := mix.Benchmarks
+	if *traceIn != "" {
+		readers, names, closeAll, err := openTraces(*traceIn, sys.Processor.Cores)
+		if err != nil {
+			log.Fatalf("-trace: %v", err)
+		}
+		defer closeAll()
+		rc.Readers = readers
+		rc.Mix = camps.Mix{}
+		benchNames = names
 	}
 	var suite *obs.Suite
 	if *metricsOut != "" || *traceOut != "" || *epochTable {
@@ -108,13 +136,17 @@ func main() {
 		fmt.Println(t.String())
 	}
 
+	source := "mix " + mix.ID
+	if *traceIn != "" {
+		source = "trace replay"
+	}
 	w := os.Stdout
-	fmt.Fprintf(w, "mix %s under %v (seed %d, %d instr/core)\n\n", mix.ID, s, *seed, *instr)
+	fmt.Fprintf(w, "%s under %v (seed %d, %d instr/core)\n\n", source, s, *seed, *instr)
 
 	fmt.Fprintln(w, "per-core performance:")
 	for core, ipc := range res.IPC {
 		fmt.Fprintf(w, "  core %d  %-9s IPC %.4f  MPKI %7.2f\n",
-			core, mix.Benchmarks[core], ipc, res.MPKI[core])
+			core, benchNames[core], ipc, res.MPKI[core])
 	}
 	fmt.Fprintf(w, "  geomean IPC %.4f\n\n", res.GeoMeanIPC)
 
@@ -139,6 +171,10 @@ func main() {
 	fmt.Fprintf(w, "  timeliness           %12.1f ns to first use\n", res.PrefetchTimeliness/1000)
 	fmt.Fprintf(w, "  buffer evictions     %12d (%d written back)\n",
 		res.BufferStats.Evictions, vs.RowWritebacks.Value())
+
+	if fr := report.FaultReport(res.Faults); fr != "" {
+		fmt.Fprintf(w, "\n%s", fr)
+	}
 
 	if *vaults {
 		fmt.Fprintln(w, "\nper-vault load:")
@@ -177,41 +213,82 @@ func main() {
 	fmt.Fprintf(w, "  %-10s %10.4f\n", "total", e.Total()/1e9)
 }
 
+// openTraces opens the comma-separated trace paths as per-core readers.
+// One path is opened once per core (each core gets an independent file
+// handle, so every stream starts at the beginning); otherwise the count
+// must match the core count exactly.
+func openTraces(arg string, cores int) (readers []trace.Reader, names []string, closeAll func(), err error) {
+	paths := strings.Split(arg, ",")
+	for i := range paths {
+		paths[i] = strings.TrimSpace(paths[i])
+	}
+	switch {
+	case len(paths) == 1:
+		p := paths[0]
+		paths = make([]string, cores)
+		for i := range paths {
+			paths[i] = p
+		}
+	case len(paths) != cores:
+		return nil, nil, nil, fmt.Errorf("%d trace files for %d cores (give one, or one per core)", len(paths), cores)
+	}
+
+	var files []*os.File
+	closeAll = func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}
+	for core, p := range paths {
+		f, ferr := os.Open(p)
+		if ferr != nil {
+			closeAll()
+			return nil, nil, nil, ferr
+		}
+		files = append(files, f)
+		r, rerr := trace.OpenReader(f) // sniffs fixed-v1 vs compact-v2, rejects foreign files
+		if rerr != nil {
+			closeAll()
+			return nil, nil, nil, fmt.Errorf("core %d trace %s: %w", core, p, rerr)
+		}
+		readers = append(readers, r)
+		names = append(names, filepath.Base(p))
+	}
+	return readers, names, closeAll, nil
+}
+
 // writeTelemetry exports the run's observability data: metric snapshots
 // as JSONL and the event trace as Chrome trace_event JSON (or JSONL when
-// the trace path ends in .jsonl).
+// the trace path ends in .jsonl). Both land atomically (write-temp +
+// fsync + rename), so a crash mid-export never leaves a torn file where
+// a previous run's good one stood.
 func writeTelemetry(suite *obs.Suite, metricsPath, tracePath string) {
 	if suite == nil {
 		return
 	}
 	if metricsPath != "" {
-		f, err := os.Create(metricsPath)
-		if err != nil {
-			log.Fatal(err)
+		var buf bytes.Buffer
+		if err := suite.WriteMetrics(&buf); err != nil {
+			log.Fatalf("metrics export: %v", err)
 		}
-		if err := suite.WriteMetrics(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
+		if err := exp.AtomicWriteFile(metricsPath, buf.Bytes(), 0o644); err != nil {
+			log.Fatalf("write %s: %v", metricsPath, err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d metric snapshots to %s\n", len(suite.Snapshots()), metricsPath)
 	}
 	if tracePath != "" {
-		f, err := os.Create(tracePath)
-		if err != nil {
-			log.Fatal(err)
-		}
+		var buf bytes.Buffer
+		var err error
 		if strings.HasSuffix(tracePath, ".jsonl") {
-			err = suite.Tracer.WriteJSONL(f)
+			err = suite.Tracer.WriteJSONL(&buf)
 		} else {
-			err = suite.Tracer.WriteChromeTrace(f)
+			err = suite.Tracer.WriteChromeTrace(&buf)
 		}
 		if err != nil {
-			log.Fatal(err)
+			log.Fatalf("trace export: %v", err)
 		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
+		if err := exp.AtomicWriteFile(tracePath, buf.Bytes(), 0o644); err != nil {
+			log.Fatalf("write %s: %v", tracePath, err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d events (%d emitted, %d overwritten) to %s\n",
 			suite.Tracer.Len(), suite.Tracer.Total(), suite.Tracer.Dropped(), tracePath)

@@ -85,6 +85,8 @@ func main() {
 		retries  = flag.Int("retries", 0, "extra attempts for transiently failing cells")
 		out      = flag.String("out", "", "checkpoint completed cells to this JSONL file")
 		resume   = flag.Bool("resume", false, "skip cells already present in the -out checkpoint")
+		faults   = flag.String("faults", "", "deterministic fault-injection spec applied to every cell; "+camps.FaultGrammar())
+		check    = flag.Bool("check", false, "run the epoch invariant checker in every cell")
 		list     = flag.Bool("list", false, "list knobs and exit")
 		version  = flag.Bool("version", false, "print build information and exit")
 	)
@@ -131,6 +133,13 @@ func main() {
 		}
 		vals = append(vals, v)
 	}
+	var faultSpec camps.FaultSpec
+	if *faults != "" {
+		faultSpec, err = camps.ParseFaultSpec(*faults)
+		if err != nil {
+			log.Fatalf("-faults: %v", err)
+		}
+	}
 
 	// SIGINT/SIGTERM cancel the campaign: in-flight simulations halt
 	// within one epoch, and every finished cell is already fsync'd to the
@@ -140,12 +149,14 @@ func main() {
 
 	cells := exp.Sweep(mix, s, *seed, *name, vals, k.apply)
 	results, stats, err := exp.Run(ctx, cells, exp.Options{
-		MeasureInstr: *instr,
-		Parallelism:  *parallel,
-		CellTimeout:  *timeout,
-		Retries:      *retries,
-		Checkpoint:   *out,
-		Resume:       *resume,
+		MeasureInstr:    *instr,
+		Parallelism:     *parallel,
+		CellTimeout:     *timeout,
+		Retries:         *retries,
+		Checkpoint:      *out,
+		Resume:          *resume,
+		Faults:          faultSpec,
+		CheckInvariants: *check,
 		Progress: func(cr exp.CellResult) {
 			state := "done"
 			if cr.Resumed {
@@ -158,12 +169,16 @@ func main() {
 
 	fmt.Printf("# sweep %s on %s under %v (%d instr/core, seed %d)\n",
 		*name, mix.ID, s, *instr, *seed)
-	fmt.Println("value,ipc,amat_ns,conflict_rate,bufhit_rate,row_accuracy,energy_mJ")
+	fmt.Println("value,ipc,amat_ns,conflict_rate,bufhit_rate,row_accuracy,energy_mJ,faults")
 	for _, cr := range results {
 		res := cr.Results
-		fmt.Printf("%d,%.4f,%.1f,%.4f,%.4f,%.4f,%.3f\n",
+		var injected uint64
+		if res.Faults != nil {
+			injected = res.Faults.Total()
+		}
+		fmt.Printf("%d,%.4f,%.1f,%.4f,%.4f,%.4f,%.3f,%d\n",
 			cr.Value, res.GeoMeanIPC, res.AMATps/1000, res.RowConflictRate,
-			res.BufferHitRate, res.PrefetchAccuracy, res.Energy.Total()/1e9)
+			res.BufferHitRate, res.PrefetchAccuracy, res.Energy.Total()/1e9, injected)
 	}
 
 	if err != nil {

@@ -54,11 +54,11 @@ func main() {
 	}
 	b, err := workload.GetAny(*bench)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("benchmark %q: %v", *bench, err)
 	}
 	gen, err := trace.NewGenerator(b.Profile, *base, *seed)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("benchmark %q profile: %v", *bench, err)
 	}
 
 	path := *out
@@ -67,7 +67,15 @@ func main() {
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("create %s: %v", path, err)
+	}
+	// A partial trace is worse than none: later replays would see silent
+	// truncation. Any failure below removes the torn output before exiting
+	// non-zero.
+	fail := func(format string, args ...any) {
+		f.Close()
+		os.Remove(path)
+		log.Fatalf(format, args...)
 	}
 	type recordWriter interface {
 		Write(trace.Record) error
@@ -81,17 +89,17 @@ func main() {
 	for i := int64(0); i < *n; i++ {
 		rec, err := gen.Next()
 		if err != nil {
-			log.Fatal(err)
+			fail("generate %s record %d: %v", *bench, i, err)
 		}
 		if err := w.Write(rec); err != nil {
-			log.Fatal(err)
+			fail("write %s record %d: %v", path, i, err)
 		}
 	}
 	if err := w.Flush(); err != nil {
-		log.Fatal(err)
+		fail("flush %s: %v", path, err)
 	}
 	if err := f.Close(); err != nil {
-		log.Fatal(err)
+		fail("close %s: %v", path, err)
 	}
 	fmt.Printf("wrote %d records (%s) to %s\n", w.Count(), *bench, path)
 }

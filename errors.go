@@ -3,6 +3,8 @@ package camps
 import (
 	"errors"
 
+	"camps/internal/fault"
+	"camps/internal/sim"
 	"camps/internal/workload"
 )
 
@@ -18,6 +20,14 @@ var (
 	ErrMixCoreMismatch = errors.New("camps: workload does not match core count")
 	// ErrUnknownMix matches failed mix lookups (MixByID, AnyMixByID).
 	ErrUnknownMix = workload.ErrUnknownMix
+	// ErrInvariant matches a run aborted by the epoch invariant checker:
+	// a structural property of the simulation (request accounting, buffer
+	// occupancy, table bounds, clock monotonicity) was violated. The full
+	// violation is available via errors.As with *sim.InvariantError.
+	ErrInvariant = sim.ErrInvariant
+	// ErrBadFaultSpec matches every fault-spec parse or validation failure
+	// (RunConfig.Faults and the CLIs' -faults grammar).
+	ErrBadFaultSpec = fault.ErrBadSpec
 )
 
 // apiError pairs an unchanged legacy message with the sentinels (and,

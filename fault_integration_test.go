@@ -1,0 +1,165 @@
+package camps_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"camps"
+	"camps/internal/obs"
+	"camps/internal/sim"
+)
+
+// degraded returns a fault spec exercising every fault class at rates
+// high enough to fire in a short run.
+func degraded() camps.FaultSpec {
+	spec, err := camps.ParseFaultSpec(
+		"linkcrc=2e-3,stall=1e-3,stallfor=50ns,poison=5e-3,bankfail=50us,bankfor=1us,seed=3")
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+func TestRunZeroFaultSpecMatchesDisabled(t *testing.T) {
+	base, err := camps.Run(quick("MX1", camps.CAMPS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := quick("MX1", camps.CAMPS)
+	rc.Faults = camps.FaultSpec{Seed: 7} // all rates zero: must be inert
+	zero, err := camps.Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Faults != nil {
+		t.Fatalf("all-zero spec produced fault counts: %+v", *zero.Faults)
+	}
+	a, _ := json.Marshal(base)
+	b, _ := json.Marshal(zero)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("all-zero fault spec perturbed results:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestRunFaultsDeterministic(t *testing.T) {
+	run := func(faultSeed uint64) []byte {
+		rc := quick("HM1", camps.CAMPSMOD)
+		rc.Faults = degraded()
+		rc.Faults.Seed = faultSeed
+		rc.CheckInvariants = true
+		res, err := camps.Run(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Faults == nil || res.Faults.Total() == 0 {
+			t.Fatalf("degraded spec injected nothing: %+v", res.Faults)
+		}
+		out, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(3), run(3)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed+spec produced different results:\n%s\nvs\n%s", a, b)
+	}
+	if c := run(4); bytes.Equal(a, c) {
+		t.Fatal("different fault seeds produced byte-identical results")
+	}
+}
+
+// The acceptance criterion verbatim: two runs with identical seed and
+// fault spec must produce byte-identical -metrics-out JSON — the exact
+// bytes campsim writes, i.e. the observability suite's JSONL export with
+// the fault.* counters included.
+func TestRunFaultsMetricsExportByteIdentical(t *testing.T) {
+	export := func() []byte {
+		rc := quick("MX2", camps.CAMPS)
+		rc.Faults = degraded()
+		rc.Obs = obs.NewSuite(0)
+		rc.EpochInterval = 10 * sim.Microsecond
+		if _, err := camps.Run(rc); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rc.Obs.WriteMetrics(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := export(), export()
+	if len(a) == 0 {
+		t.Fatal("metrics export is empty")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed+spec produced different metrics JSON (%d vs %d bytes)", len(a), len(b))
+	}
+	// The export must actually carry the fault counters.
+	var last obs.Snapshot
+	lines := bytes.Split(bytes.TrimSpace(a), []byte("\n"))
+	if err := json.Unmarshal(lines[len(lines)-1], &last); err != nil {
+		t.Fatal(err)
+	}
+	total := uint64(0)
+	for _, name := range []string{
+		"fault.link_crc_errors", "fault.link_retries", "fault.vault_stalls",
+		"fault.poisoned_rows", "fault.bank_blackouts",
+	} {
+		n, ok := last.Counters[name]
+		if !ok {
+			t.Fatalf("final snapshot missing %s; counters: %v", name, last.Counters)
+		}
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("fault counters all zero under a degraded spec")
+	}
+}
+
+func TestRunDegradedStillCompletes(t *testing.T) {
+	clean, err := camps.Run(quick("HM2", camps.CAMPS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := quick("HM2", camps.CAMPS)
+	rc.Faults = degraded()
+	rc.CheckInvariants = true
+	hurt, err := camps.Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every core must still retire its measured region under faults (Run
+	// errors otherwise); the run just takes longer.
+	if hurt.Instructions < 8*60_000 {
+		t.Fatalf("degraded run retired only %d instructions", hurt.Instructions)
+	}
+	if hurt.ElapsedSim <= clean.ElapsedSim {
+		t.Fatalf("faults did not cost time: %v vs clean %v", hurt.ElapsedSim, clean.ElapsedSim)
+	}
+	if hurt.AMATps <= clean.AMATps {
+		t.Fatalf("faults did not raise AMAT: %v vs clean %v", hurt.AMATps, clean.AMATps)
+	}
+}
+
+func TestRunInvariantCheckedCleanRun(t *testing.T) {
+	rc := quick("LM1", camps.BASE)
+	rc.CheckInvariants = true
+	if _, err := camps.Run(rc); err != nil {
+		t.Fatalf("clean run tripped an invariant: %v", err)
+	}
+}
+
+func TestRunRejectsBadFaultSpec(t *testing.T) {
+	rc := quick("MX1", camps.CAMPS)
+	rc.Faults.LinkCRCRate = 1.5 // probabilities live in [0,1]
+	_, err := camps.Run(rc)
+	if err == nil {
+		t.Fatal("invalid fault spec accepted")
+	}
+	if !errors.Is(err, camps.ErrBadFaultSpec) {
+		t.Fatalf("error not typed as ErrBadFaultSpec: %v", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
 	"runtime"
@@ -38,12 +39,14 @@ func PrintVersion(w io.Writer, tool string) {
 var registerRuntimeOnce sync.Once
 
 // StartPprof serves net/http/pprof plus a /debug/runtime JSON endpoint
-// (heap, GC, goroutine counts) on addr in a background goroutine, and
-// returns once the listener is being set up. Profiling a simulation is
-// then e.g.:
+// (heap, GC, goroutine counts) on addr in a background goroutine. The
+// bind happens synchronously: a bound port (or any other listen failure)
+// is logged and the run continues without profiling — the debug server
+// must never abort a simulation. It returns true when the server is up.
+// Profiling a simulation is then e.g.:
 //
 //	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
-func StartPprof(addr string, logf func(format string, args ...any)) {
+func StartPprof(addr string, logf func(format string, args ...any)) bool {
 	// DefaultServeMux panics on duplicate registration, so guard against a
 	// second StartPprof in one process (tests, embedded uses).
 	registerRuntimeOnce.Do(func() {
@@ -61,12 +64,20 @@ func StartPprof(addr string, logf func(format string, args ...any)) {
 			})
 		})
 	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		if logf != nil {
+			logf("pprof disabled (%v); continuing without profiling", err)
+		}
+		return false
+	}
 	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil && logf != nil {
-			logf("pprof server: %v", err)
+		if serr := http.Serve(ln, nil); serr != nil && logf != nil {
+			logf("pprof server stopped: %v", serr)
 		}
 	}()
 	if logf != nil {
-		logf("serving pprof on http://%s/debug/pprof/ (runtime metrics at /debug/runtime)", addr)
+		logf("serving pprof on http://%s/debug/pprof/ (runtime metrics at /debug/runtime)", ln.Addr())
 	}
+	return true
 }

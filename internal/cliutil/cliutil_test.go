@@ -1,6 +1,8 @@
 package cliutil
 
 import (
+	"fmt"
+	"net"
 	"strings"
 	"sync"
 	"testing"
@@ -44,21 +46,58 @@ func TestStartPprofAnnouncesEndpoint(t *testing.T) {
 	logf := func(format string, args ...any) {
 		mu.Lock()
 		defer mu.Unlock()
-		logs = append(logs, format)
+		logs = append(logs, fmt.Sprintf(format, args...))
 	}
-	// Port 0 would race the listener for the bound address; the
-	// announcement itself is synchronous, which is what we verify. The
-	// server goroutine fails later on the unroutable address without
-	// crashing the process.
-	StartPprof("127.0.0.1:0", logf)
+	// The bind is synchronous, so port 0 resolves to a real address before
+	// StartPprof returns and the announcement carries it.
+	if !StartPprof("127.0.0.1:0", logf) {
+		t.Fatal("bind to an ephemeral port failed")
+	}
 	mu.Lock()
 	defer mu.Unlock()
 	if len(logs) == 0 || !strings.Contains(logs[0], "pprof") {
 		t.Fatalf("StartPprof should announce the endpoint synchronously, got %v", logs)
 	}
+	if strings.Contains(logs[0], ":0/") {
+		t.Fatalf("announcement should carry the resolved port, got %q", logs[0])
+	}
+}
+
+func TestStartPprofBoundPortDegradesGracefully(t *testing.T) {
+	// Occupy a port, then ask StartPprof for it: the run must continue
+	// (no exit, no panic), with the failure logged.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var (
+		mu   sync.Mutex
+		logs []string
+	)
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		logs = append(logs, fmt.Sprintf(format, args...))
+	}
+	if StartPprof(ln.Addr().String(), logf) {
+		t.Fatal("StartPprof claimed success on an already-bound port")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(logs) != 1 || !strings.Contains(logs[0], "continuing without profiling") {
+		t.Fatalf("bound port should log and continue, got %v", logs)
+	}
 }
 
 func TestStartPprofNilLogf(t *testing.T) {
-	// Must not panic without a logger.
-	StartPprof("127.0.0.1:0", nil)
+	// Must not panic without a logger, on success or failure.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	StartPprof(ln.Addr().String(), nil) // bound port, nil logger
+	StartPprof("127.0.0.1:0", nil)      // fresh port, nil logger
 }

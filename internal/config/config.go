@@ -172,6 +172,12 @@ type Links struct {
 	// request packets into the vault. 0 (default) leaves the crossbar a
 	// pure fixed-latency switch.
 	VaultPortGBps int64
+
+	// RetryTurnaround is the protocol latency of one link-level CRC retry
+	// (error detection + retry-pointer exchange) on top of the packet's
+	// re-serialization. It is a hardware property; whether retries happen
+	// at all is governed by the fault-injection spec.
+	RetryTurnaround sim.Time
 }
 
 // BytesPerSecond returns one link's per-direction bandwidth in bytes/s.
@@ -260,6 +266,9 @@ func Default() Config {
 			PropDelay:    3200 * sim.Picosecond,
 			SwitchDelay:  1250 * sim.Picosecond,
 			CtrlOverhead: 1000 * sim.Picosecond,
+			// HMC-style link retry: the retry pointer round trip costs about
+			// one propagation each way on top of re-serialization.
+			RetryTurnaround: 6400 * sim.Picosecond,
 		},
 		PFBuffer: PFBuffer{SizeBytes: 16 << 10, LineBytes: 1 << 10, HitLatency: 22},
 		CAMPS:    CAMPS{UtilThreshold: 4, CTEntries: 32},
@@ -308,6 +317,7 @@ func (c Config) Validate() error {
 	check(t.TFAW >= t.TRRD, "config: tFAW (%d) must be at least tRRD (%d)", t.TFAW, t.TRRD)
 	check(c.Links.Count > 0 && c.Links.LanesPerDir > 0 && c.Links.LaneGbps > 0,
 		"config: link parameters must be positive")
+	check(c.Links.RetryTurnaround >= 0, "config: link retry turnaround must not be negative")
 	check(c.PFBuffer.LineBytes == c.HMC.RowBytes,
 		"config: prefetch buffer line (%d) must equal row size (%d)",
 		c.PFBuffer.LineBytes, c.HMC.RowBytes)

@@ -176,6 +176,26 @@ func (b *Bank) Refresh(at sim.Time) sim.Time {
 	return b.nextAct
 }
 
+// CheckInvariant validates the bank's structural invariants: every ACT
+// opens a row and every PRE closes one, so an open bank has performed
+// exactly one more activate than precharges and a closed bank an equal
+// number (refresh requires the precharged state and changes neither).
+// It is read-only and is wired into the simulator's epoch checker.
+func (b *Bank) CheckInvariant() error {
+	if b.openRow < NoRow {
+		return fmt.Errorf("dram: open row %d below NoRow", b.openRow)
+	}
+	want := b.ops.Precharges
+	if b.openRow != NoRow {
+		want++
+	}
+	if b.ops.Activates != want {
+		return fmt.Errorf("dram: %d activates vs %d precharges with open row %d",
+			b.ops.Activates, b.ops.Precharges, b.openRow)
+	}
+	return nil
+}
+
 func (b *Bank) checkColumn(at sim.Time, op string) {
 	if b.openRow == NoRow {
 		panic(fmt.Sprintf("dram: %s on closed bank", op))

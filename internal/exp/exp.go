@@ -118,6 +118,14 @@ type Options struct {
 	// from camps.RunConfig).
 	WarmupRefs   uint64
 	MeasureInstr uint64
+	// Faults is the deterministic fault environment applied to every cell
+	// (zero value: fault-free). The cell's Seed combines with Faults.Seed,
+	// so each cell sees its own reproducible fault schedule.
+	Faults camps.FaultSpec
+	// CheckInvariants arms the per-run invariant checker in every cell; a
+	// violation fails the cell with an error matching camps.ErrInvariant
+	// (deterministic, so it is never retried).
+	CheckInvariants bool
 	// Parallelism is the worker count (default NumCPU).
 	Parallelism int
 	// QueueDepth bounds the cell queue feeding the workers (default
@@ -134,6 +142,11 @@ type Options struct {
 	// Backoff is the wait before the first retry, doubling per attempt
 	// (default 100ms).
 	Backoff time.Duration
+	// HangGrace is how long past context cancellation (cell timeout or
+	// campaign cancellation) the watchdog lets an attempt keep running
+	// before declaring it hung, abandoning its goroutine, and failing the
+	// cell with a *HangError carrying a full goroutine dump (default 2s).
+	HangGrace time.Duration
 	// Checkpoint names the JSONL result store ("" = no checkpointing).
 	// Every completed cell is appended and fsync'd as soon as it finishes,
 	// so an interrupted campaign leaves a valid store behind.
@@ -165,6 +178,9 @@ func (o *Options) applyDefaults() {
 	}
 	if o.Backoff <= 0 {
 		o.Backoff = 100 * time.Millisecond
+	}
+	if o.HangGrace <= 0 {
+		o.HangGrace = 2 * time.Second
 	}
 	if o.runCell == nil {
 		o.runCell = defaultRunCell
@@ -364,7 +380,11 @@ func runWithRetry(ctx context.Context, c Cell, opts *Options, st *Stats, mu *syn
 			actx, cancel = context.WithTimeout(ctx, opts.CellTimeout)
 		}
 		t0 := time.Now()
-		res, err := opts.runCell(actx, c, opts)
+		// runAttempt isolates the attempt in its own goroutine: panics come
+		// back as *PanicError, and a cell that ignores cancellation is
+		// abandoned after HangGrace as *HangError — both ordinary cell
+		// errors, so the worker (and the campaign) survive either.
+		res, err := runAttempt(actx, c, opts)
 		dur := time.Since(t0)
 		cancel()
 		if err == nil {
@@ -399,7 +419,9 @@ func runWithRetry(ctx context.Context, c Cell, opts *Options, st *Stats, mu *syn
 func permanent(err error) bool {
 	return errors.Is(err, camps.ErrInvalidConfig) ||
 		errors.Is(err, camps.ErrMixCoreMismatch) ||
-		errors.Is(err, camps.ErrUnknownMix)
+		errors.Is(err, camps.ErrUnknownMix) ||
+		errors.Is(err, camps.ErrBadFaultSpec) ||
+		errors.Is(err, camps.ErrInvariant)
 }
 
 // defaultRunCell executes one real simulation.
@@ -412,12 +434,14 @@ func defaultRunCell(ctx context.Context, c Cell, o *Options) (camps.Results, err
 		c.Apply(&sys)
 	}
 	return camps.RunContext(ctx, camps.RunConfig{
-		System:       sys,
-		Scheme:       c.Scheme,
-		Mix:          c.Mix,
-		Seed:         c.Seed,
-		WarmupRefs:   o.WarmupRefs,
-		MeasureInstr: o.MeasureInstr,
+		System:          sys,
+		Scheme:          c.Scheme,
+		Mix:             c.Mix,
+		Seed:            c.Seed,
+		WarmupRefs:      o.WarmupRefs,
+		MeasureInstr:    o.MeasureInstr,
+		Faults:          o.Faults,
+		CheckInvariants: o.CheckInvariants,
 	})
 }
 

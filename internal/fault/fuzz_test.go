@@ -1,0 +1,60 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParseSpec asserts the parser's contract over arbitrary input: it
+// never panics, every failure wraps ErrBadSpec, and every accepted spec
+// validates, survives defaulting, and round-trips through String.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("")
+	f.Add("linkcrc=1e-4")
+	f.Add("linkcrc=1e-4,linkretries=5,stall=5e-5,stallfor=80ns,poison=1e-3,bankfail=200us,bankfor=2us,seed=7")
+	f.Add("stallfor=2.5us")
+	f.Add("bankfail=1ms")
+	f.Add("linkcrc=2")
+	f.Add("nope=1")
+	f.Add("linkcrc")
+	f.Add("linkcrc=0.1,linkcrc=0.2")
+	f.Add("seed=18446744073709551615")
+	f.Add(" linkcrc = 0.5 , seed = 3 ")
+	f.Add(",")
+	f.Add("=")
+	f.Add("stallfor=9999999999999999999ms")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseSpec(text)
+		if err != nil {
+			if !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("error does not wrap ErrBadSpec: %v", err)
+			}
+			if s != (Spec{}) {
+				t.Fatalf("error with non-zero spec: %+v", s)
+			}
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("accepted spec fails Validate: %v (spec %+v)", verr, s)
+		}
+		d := s.withDefaults()
+		if derr := d.Validate(); derr != nil {
+			t.Fatalf("defaulted spec fails Validate: %v (spec %+v)", derr, d)
+		}
+		// String must re-parse; the result must match up to defaulting.
+		again, rerr := ParseSpec(s.String())
+		if rerr != nil {
+			t.Fatalf("String() output rejected: %v (text %q)", rerr, s.String())
+		}
+		if again.withDefaults() != d {
+			t.Fatalf("round trip changed spec:\n  in  %+v\n  out %+v", d, again.withDefaults())
+		}
+		// NewInjector must be total over valid specs.
+		inj := NewInjector(s, 1)
+		inj.Link(0, 0).PacketRetries(0)
+		v := inj.Vault(0, 4)
+		v.StallDelay(0)
+		v.PoisonInsert(0, 0, 0)
+		v.BankBlockedUntil(0, 0)
+	})
+}

@@ -1,7 +1,10 @@
 package hmc
 
 import (
+	"fmt"
+
 	"camps/internal/config"
+	"camps/internal/fault"
 	"camps/internal/obs"
 	"camps/internal/pfbuffer"
 	"camps/internal/prefetch"
@@ -31,11 +34,17 @@ type Cube struct {
 
 	reads    stats.Counter
 	writes   stats.Counter
+	inflight uint64             // reads issued whose data is not yet back
 	readAMAT stats.LatencyAccum // request issue -> data back at controller
 	readHist *stats.Histogram   // same samples, 5ns buckets to 2us
 
 	// Observability (nil unless Instrument was called).
 	obsLat *obs.Histogram
+
+	// Fault injection (empty unless SetFaults was called with an
+	// injector): per-vault ingress-stall sites. All site methods are
+	// nil-safe, so a cube without faults carries no extra state.
+	vsites []*fault.VaultSite
 }
 
 // NewCube builds the cube with one prefetch scheme across all vaults.
@@ -74,6 +83,7 @@ func (c *Cube) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	if reg != nil {
 		reg.CounterFunc("hmc.reads", c.reads.Value)
 		reg.CounterFunc("hmc.writes", c.writes.Value)
+		reg.GaugeFunc("hmc.inflight_reads", func() float64 { return float64(c.inflight) })
 		c.obsLat = reg.Histogram("hmc.read_latency_ps")
 	}
 	for _, v := range c.vaults {
@@ -99,6 +109,48 @@ func (c *Cube) ingress(v int, at sim.Time, n int) sim.Time {
 	end := start + sim.Time(int64(n)*1_000_000_000_000/c.portBps)
 	c.portFree[v] = end
 	return end
+}
+
+// SetFaults threads a fault injector through the whole memory path: CRC
+// sites onto every link direction, and stall/poison/blackout sites onto
+// every vault. A nil injector leaves the cube fault-free (all sites nil).
+// Call before the simulation starts.
+func (c *Cube) SetFaults(inj *fault.Injector) {
+	for i, l := range c.links {
+		l.SetFaults(inj, i)
+	}
+	c.vsites = make([]*fault.VaultSite, len(c.vaults))
+	for i, v := range c.vaults {
+		site := inj.Vault(i, c.cfg.HMC.Banks())
+		c.vsites[i] = site
+		v.SetFaults(site)
+	}
+}
+
+// Invariants returns the memory system's structural invariants for the
+// simulator's epoch checker: read-request accounting (issued == completed
+// + in-flight) and every vault's internal state (prefetch-buffer
+// occupancy and recency permutation, bank activate/precharge accounting,
+// prefetch-engine table bounds). All checks are read-only.
+func (c *Cube) Invariants() []sim.Invariant {
+	return []sim.Invariant{
+		{Name: "hmc-read-accounting", Check: func() error {
+			issued, completed := c.reads.Value(), c.readAMAT.Count()
+			if issued != completed+c.inflight {
+				return fmt.Errorf("hmc: %d reads issued but %d completed + %d in flight",
+					issued, completed, c.inflight)
+			}
+			return nil
+		}},
+		{Name: "vault-state", Check: func() error {
+			for _, v := range c.vaults {
+				if err := v.CheckInvariant(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+	}
 }
 
 // Mapping returns the cube's address mapping.
@@ -129,15 +181,21 @@ func (c *Cube) Access(addr Address, write bool, done func(at sim.Time)) {
 	// then the crossbar hop (and optional vault ingress port).
 	atCube := link.SendRequest(now+c.ctrlLat, reqBytes)
 	atVault := c.ingress(loc.Vault, atCube, reqBytes)
+	if c.vsites != nil {
+		// Injected TSV/arbitration stall: the vault sees the request late.
+		atVault += c.vsites[loc.Vault].StallDelay(atVault)
+	}
 
 	v := c.vaults[loc.Vault]
 	var vdone func(at sim.Time)
 	if write {
 		vdone = nil
 	} else {
+		c.inflight++
 		vdone = func(ready sim.Time) {
 			// Response: crossbar back, response packet with data.
 			back := link.SendResponse(ready+c.switchLat, c.headerB+c.lineBytes)
+			c.inflight--
 			c.readAMAT.Observe(float64(back - now))
 			c.readHist.Observe(float64(back - now))
 			if c.obsLat != nil {

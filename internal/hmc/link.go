@@ -2,6 +2,7 @@ package hmc
 
 import (
 	"camps/internal/config"
+	"camps/internal/fault"
 	"camps/internal/obs"
 	"camps/internal/sim"
 	"camps/internal/stats"
@@ -34,6 +35,12 @@ type pipe struct {
 	tr     *obs.Tracer
 	linkID int32
 	dir    int32 // 0 request, 1 response
+
+	// Fault injection (nil unless Link.SetFaults was called with an
+	// injector): CRC-failed packets are retransmitted, charging the retry
+	// turnaround plus a full re-serialization per retry.
+	faults    *fault.LinkSite
+	retryTurn sim.Time
 }
 
 func newPipe(l config.Links) *pipe {
@@ -42,6 +49,7 @@ func newPipe(l config.Links) *pipe {
 		prop:        l.PropDelay,
 		sleepAfter:  l.SleepAfter,
 		wakeLat:     l.WakeLatency,
+		retryTurn:   l.RetryTurnaround,
 	}
 }
 
@@ -65,6 +73,12 @@ func (p *pipe) send(at sim.Time, n int) sim.Time {
 		start += p.wakeLat
 	}
 	ser := p.serTime(n)
+	// CRC retries: each retransmission re-serializes the packet after the
+	// retry turnaround, occupying the lane group for the whole exchange.
+	// Packets are FIFO per pipe, so the draw order is deterministic.
+	if r := p.faults.PacketRetries(start); r > 0 {
+		ser += sim.Time(r) * (p.retryTurn + p.serTime(n))
+	}
 	p.nextFree = start + ser
 	p.packets.Inc()
 	p.bytes.Add(uint64(n))
@@ -90,6 +104,14 @@ func NewLink(l config.Links) *Link {
 func (l *Link) Instrument(tr *obs.Tracer, id int) {
 	l.req.tr, l.req.linkID, l.req.dir = tr, int32(id), 0
 	l.resp.tr, l.resp.linkID, l.resp.dir = tr, int32(id), 1
+}
+
+// SetFaults attaches the fault injector's per-direction CRC sites to this
+// link (id is the link number). A nil injector detaches injection. Call
+// before the simulation starts.
+func (l *Link) SetFaults(inj *fault.Injector, id int) {
+	l.req.faults = inj.Link(id, 0)
+	l.resp.faults = inj.Link(id, 1)
 }
 
 // SendRequest transmits a request packet of n bytes at time at; the result

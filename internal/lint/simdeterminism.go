@@ -22,6 +22,7 @@ var simPackages = map[string]bool{
 	"camps/internal/trace":    true,
 	"camps/internal/stats":    true,
 	"camps/internal/report":   true,
+	"camps/internal/fault":    true,
 }
 
 // wallClockFuncs are the package-level time functions that read or react

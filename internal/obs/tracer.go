@@ -32,40 +32,56 @@ const (
 	EvLinkFlit
 	// Epoch marker emitted at each registry snapshot.
 	EvEpoch
+	// Fault-injection events (internal/fault). LinkCRC: Vault is the link
+	// id, Bank the direction, Arg the retry count. VaultStall: Arg the
+	// stall duration. Poison: Vault/Bank/Row locate the discarded row.
+	// BankFail: Arg the window duration; At is the window start.
+	EvFaultLinkCRC
+	EvFaultVaultStall
+	EvFaultPoison
+	EvFaultBankFail
 
 	evTypeCount
 )
 
 var evNames = [evTypeCount]string{
-	EvRowActivate:   "row-activate",
-	EvRowHit:        "row-hit",
-	EvRowMiss:       "row-miss",
-	EvRowConflict:   "row-conflict",
-	EvRowWriteback:  "row-writeback",
-	EvPrefetchIssue: "prefetch-issue",
-	EvPrefetchHit:   "prefetch-hit",
-	EvPrefetchEvict: "prefetch-evict",
-	EvPrefetchDrop:  "prefetch-drop",
-	EvMSHRStall:     "mshr-stall",
-	EvMSHRCoalesce:  "mshr-coalesce",
-	EvLinkFlit:      "link-flit",
-	EvEpoch:         "epoch",
+	EvRowActivate:     "row-activate",
+	EvRowHit:          "row-hit",
+	EvRowMiss:         "row-miss",
+	EvRowConflict:     "row-conflict",
+	EvRowWriteback:    "row-writeback",
+	EvPrefetchIssue:   "prefetch-issue",
+	EvPrefetchHit:     "prefetch-hit",
+	EvPrefetchEvict:   "prefetch-evict",
+	EvPrefetchDrop:    "prefetch-drop",
+	EvMSHRStall:       "mshr-stall",
+	EvMSHRCoalesce:    "mshr-coalesce",
+	EvLinkFlit:        "link-flit",
+	EvEpoch:           "epoch",
+	EvFaultLinkCRC:    "fault-link-crc",
+	EvFaultVaultStall: "fault-vault-stall",
+	EvFaultPoison:     "fault-poison",
+	EvFaultBankFail:   "fault-bank-fail",
 }
 
 var evCats = [evTypeCount]string{
-	EvRowActivate:   "dram",
-	EvRowHit:        "dram",
-	EvRowMiss:       "dram",
-	EvRowConflict:   "dram",
-	EvRowWriteback:  "dram",
-	EvPrefetchIssue: "prefetch",
-	EvPrefetchHit:   "prefetch",
-	EvPrefetchEvict: "prefetch",
-	EvPrefetchDrop:  "prefetch",
-	EvMSHRStall:     "mshr",
-	EvMSHRCoalesce:  "mshr",
-	EvLinkFlit:      "link",
-	EvEpoch:         "epoch",
+	EvRowActivate:     "dram",
+	EvRowHit:          "dram",
+	EvRowMiss:         "dram",
+	EvRowConflict:     "dram",
+	EvRowWriteback:    "dram",
+	EvPrefetchIssue:   "prefetch",
+	EvPrefetchHit:     "prefetch",
+	EvPrefetchEvict:   "prefetch",
+	EvPrefetchDrop:    "prefetch",
+	EvMSHRStall:       "mshr",
+	EvMSHRCoalesce:    "mshr",
+	EvLinkFlit:        "link",
+	EvEpoch:           "epoch",
+	EvFaultLinkCRC:    "fault",
+	EvFaultVaultStall: "fault",
+	EvFaultPoison:     "fault",
+	EvFaultBankFail:   "fault",
 }
 
 // String returns the kebab-case event name used in exports.

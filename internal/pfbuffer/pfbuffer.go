@@ -369,6 +369,43 @@ func (b *Buffer) Flush() []Eviction {
 	return dirty
 }
 
+// CheckInvariant validates the buffer's structural invariants: occupancy
+// within capacity, the valid-entry count matching nValid, every touched
+// bitmap within the lines-per-row mask, and the recency counters of valid
+// entries forming a permutation of 0..nValid-1 (§3.2). It is read-only
+// and is wired into the simulator's epoch invariant checker.
+func (b *Buffer) CheckInvariant() error {
+	if b.nValid < 0 || b.nValid > len(b.entries) {
+		return fmt.Errorf("pfbuffer: occupancy %d outside [0,%d]", b.nValid, len(b.entries))
+	}
+	mask := ^uint64(0)
+	if b.linesPerRow < 64 {
+		mask = 1<<uint(b.linesPerRow) - 1
+	}
+	valid := 0
+	seen := make([]bool, len(b.entries))
+	for i := range b.entries {
+		e := &b.entries[i]
+		if !e.valid {
+			continue
+		}
+		valid++
+		if e.touched&^mask != 0 {
+			return fmt.Errorf("pfbuffer: entry %s touched bitmap %#x exceeds %d lines",
+				e.id, e.touched, b.linesPerRow)
+		}
+		if e.recency < 0 || e.recency >= b.nValid || seen[e.recency] {
+			return fmt.Errorf("pfbuffer: recency counters are not a permutation of 0..%d (entry %s has %d)",
+				b.nValid-1, e.id, e.recency)
+		}
+		seen[e.recency] = true
+	}
+	if valid != b.nValid {
+		return fmt.Errorf("pfbuffer: %d valid entries but occupancy count %d", valid, b.nValid)
+	}
+	return nil
+}
+
 // Recencies returns the recency values of all valid entries; exposed for
 // invariant checking in tests.
 func (b *Buffer) Recencies() []int {

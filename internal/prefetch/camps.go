@@ -1,6 +1,9 @@
 package prefetch
 
 import (
+	"fmt"
+	"math/bits"
+
 	"camps/internal/config"
 	"camps/internal/dram"
 	"camps/internal/pfbuffer"
@@ -93,3 +96,30 @@ func (e *campsEngine) OnEviction(pfbuffer.Eviction) {}
 
 // CTLen exposes the conflict-table occupancy for tests and ablations.
 func (e *campsEngine) CTLen() int { return e.ct.Len() }
+
+// CTCap exposes the conflict-table capacity for tests and invariants.
+func (e *campsEngine) CTCap() int { return e.ct.Capacity() }
+
+// CheckInvariant validates the engine's table bounds: CT occupancy within
+// capacity, the RUT sized one entry per bank, and every tracked bitmap
+// within the vault's lines-per-row mask. It implements the optional
+// invariant-checking interface the vault controller probes for.
+func (e *campsEngine) CheckInvariant() error {
+	if n, c := e.ct.Len(), e.ct.Capacity(); n > c {
+		return fmt.Errorf("prefetch: CT holds %d entries over capacity %d", n, c)
+	}
+	if len(e.rut.entries) != e.ctx.Banks {
+		return fmt.Errorf("prefetch: RUT has %d entries for %d banks", len(e.rut.entries), e.ctx.Banks)
+	}
+	for b := range e.rut.entries {
+		en := &e.rut.entries[b]
+		if !en.valid {
+			continue
+		}
+		if util := bits.OnesCount64(en.touched); util > e.ctx.LinesPerRow {
+			return fmt.Errorf("prefetch: RUT bank %d tracks %d lines of %d per row",
+				b, util, e.ctx.LinesPerRow)
+		}
+	}
+	return nil
+}

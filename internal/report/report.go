@@ -190,3 +190,29 @@ func Summary(g *harness.Grid) string {
 		"CAMPS-MOD improves average performance by %.1f%% over BASE and %.1f%% over MMD across %d workloads.",
 		(mod/base-1)*100, (mod/mmd-1)*100, f5.Rows()-1)
 }
+
+// FaultReport renders one run's injected-fault counters as an aligned
+// text block for CLI output, or "" for a fault-free run — callers print
+// it unconditionally.
+func FaultReport(c *camps.FaultCounts) string {
+	if c == nil || c.Total() == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString("injected faults:\n")
+	for _, row := range []struct {
+		name string
+		n    uint64
+	}{
+		{"link CRC errors", c.LinkCRCErrors},
+		{"link retries", c.LinkRetries},
+		{"vault stalls", c.VaultStalls},
+		{"poisoned rows", c.PoisonedRows},
+		{"bank blackouts", c.BankBlackouts},
+	} {
+		if row.n > 0 {
+			fmt.Fprintf(&sb, "  %-20s %12d\n", row.name, row.n)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestCheckerPassesCleanRun(t *testing.T) {
+	eng := NewEngine()
+	c := NewChecker(eng, 10)
+	calls := 0
+	c.Register(Invariant{Name: "always-ok", Check: func() error {
+		calls++
+		return nil
+	}})
+	eng.At(100, func() {})
+	eng.Run()
+	c.Final()
+	if err := c.Err(); err != nil {
+		t.Fatalf("clean run reported violation: %v", err)
+	}
+	if calls == 0 {
+		t.Fatal("invariant never checked")
+	}
+}
+
+func TestCheckerHaltsOnViolation(t *testing.T) {
+	eng := NewEngine()
+	c := NewChecker(eng, 10)
+	broken := false
+	cause := errors.New("count drifted")
+	c.Register(Invariant{Name: "accounting", Check: func() error {
+		if broken {
+			return cause
+		}
+		return nil
+	}})
+	eng.At(25, func() { broken = true })
+	fired := false
+	eng.At(500, func() { fired = true })
+	eng.Run()
+
+	err := c.Err()
+	if err == nil {
+		t.Fatal("violation not detected")
+	}
+	if !errors.Is(err, ErrInvariant) {
+		t.Fatalf("error does not match ErrInvariant: %v", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("error does not match the check's cause: %v", err)
+	}
+	var ie *InvariantError
+	if !errors.As(err, &ie) {
+		t.Fatalf("error is not *InvariantError: %T", err)
+	}
+	if ie.Name != "accounting" {
+		t.Fatalf("violated invariant = %q, want accounting", ie.Name)
+	}
+	if ie.At < 25 {
+		t.Fatalf("violation time %v before the state broke at 25", ie.At)
+	}
+	if fired {
+		t.Fatal("engine kept running after the violation")
+	}
+	if !eng.Halted() {
+		t.Fatal("engine not halted")
+	}
+}
+
+func TestCheckerFirstRegisteredWins(t *testing.T) {
+	eng := NewEngine()
+	c := NewChecker(eng, 10)
+	c.Register(
+		Invariant{Name: "first", Check: func() error { return errors.New("a") }},
+		Invariant{Name: "second", Check: func() error { return errors.New("b") }},
+	)
+	eng.At(50, func() {})
+	eng.Run()
+	var ie *InvariantError
+	if !errors.As(c.Err(), &ie) || ie.Name != "first" {
+		t.Fatalf("got %v, want the first registered invariant", c.Err())
+	}
+}
+
+func TestCheckerFinalChecksDrainedEngine(t *testing.T) {
+	eng := NewEngine()
+	c := NewChecker(eng, 1000) // interval longer than the run
+	state := 0
+	c.Register(Invariant{Name: "final-only", Check: func() error {
+		if state != 1 {
+			return fmt.Errorf("state = %d, want 1", state)
+		}
+		return nil
+	}})
+	eng.At(5, func() { state = 2 })
+	eng.Run()
+	if c.Err() != nil {
+		t.Fatalf("violation before Final: %v", c.Err())
+	}
+	c.Final()
+	if c.Err() == nil {
+		t.Fatal("Final missed the violation")
+	}
+}
+
+func TestCheckerIsDaemon(t *testing.T) {
+	eng := NewEngine()
+	NewChecker(eng, 10)
+	eng.At(15, func() {})
+	eng.Run()
+	// A non-daemon checker would keep rearming and Run would never return
+	// (or time would advance past the last real event). The last real event
+	// is at 15; the checker tick at 10 fires, the one at 20 must not.
+	if eng.Now() != 15 {
+		t.Fatalf("engine time = %v, want 15 (checker extended the run)", eng.Now())
+	}
+}
+
+func TestCheckerRegisterValidation(t *testing.T) {
+	eng := NewEngine()
+	c := NewChecker(eng, 10)
+	for _, iv := range []Invariant{{Name: "", Check: func() error { return nil }}, {Name: "x"}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%+v) did not panic", iv)
+				}
+			}()
+			c.Register(iv)
+		}()
+	}
+}

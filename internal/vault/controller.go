@@ -16,6 +16,7 @@ import (
 
 	"camps/internal/config"
 	"camps/internal/dram"
+	"camps/internal/fault"
 	"camps/internal/obs"
 	"camps/internal/pfbuffer"
 	"camps/internal/prefetch"
@@ -84,6 +85,11 @@ type Controller struct {
 	// carry no conditionals.
 	tr     *obs.Tracer
 	obsLat *obs.Histogram
+
+	// Fault injection (nil unless SetFaults was called with an injector):
+	// prefetch-buffer fill poisoning and per-bank blackout windows. All
+	// site methods are nil-safe.
+	faults *fault.VaultSite
 }
 
 // New returns a vault controller for vault id using the given prefetch
@@ -180,6 +186,10 @@ func (c *Controller) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 func (c *Controller) emit(t obs.EventType, at sim.Time, bank int, row, arg int64) {
 	c.tr.Emit(obs.Event{At: int64(at), Type: t, Vault: int32(c.id), Bank: int32(bank), Row: row, Arg: arg})
 }
+
+// SetFaults attaches this vault's fault-injection site (nil detaches).
+// Call before the simulation starts.
+func (c *Controller) SetFaults(site *fault.VaultSite) { c.faults = site }
 
 // ID returns the vault number.
 func (c *Controller) ID() int { return c.id }
@@ -362,6 +372,17 @@ func (c *Controller) schedule() {
 // Priority: refresh (mandatory), drained writes, demand reads, dirty row
 // stores, prefetch fetches, opportunistic writes.
 func (c *Controller) startJob(b int, now sim.Time) {
+	// An injected blackout makes the bank unavailable for the window. The
+	// busy-release retry re-dispatches queued demand when the window
+	// closes; the daemon wake covers work the retry path does not watch
+	// (refresh, fetch hints) without extending an otherwise-drained run.
+	if until := c.faults.BankBlockedUntil(b, now); until > 0 {
+		if until > c.busy[b] {
+			c.busy[b] = until
+			c.eng.AtDaemon(until, c.schedule)
+		}
+		return
+	}
 	if now >= c.nextRefresh[b] {
 		c.runRefresh(b, now)
 		return
@@ -635,11 +656,7 @@ func (c *Controller) runInlineFetch(b int, f prefetch.Fetch) {
 	}
 	c.stats.FetchesIssued.Inc()
 	c.emit(obs.EvPrefetchIssue, start, b, f.Row, 1)
-	c.eng.At(end, func() {
-		if ev := c.buffer.Insert(id, f.Touched, end); ev != nil {
-			c.onEviction(*ev)
-		}
-	})
+	c.eng.At(end, func() { c.insertFetched(id, f.Touched, end) })
 }
 
 // runFetch copies a whole row into the prefetch buffer. It reports whether
@@ -663,13 +680,24 @@ func (c *Controller) runFetch(b int, now sim.Time, f prefetch.Fetch) bool {
 	c.busy[b] = release
 	c.stats.FetchesIssued.Inc()
 	c.emit(obs.EvPrefetchIssue, start, b, f.Row, 0)
-	c.eng.At(end, func() {
-		if ev := c.buffer.Insert(id, f.Touched, end); ev != nil {
-			c.onEviction(*ev)
-		}
-	})
+	c.eng.At(end, func() { c.insertFetched(id, f.Touched, end) })
 	c.eng.At(release, c.schedule)
 	return true
+}
+
+// insertFetched lands a fetched row in the prefetch buffer. A poisoned
+// row (fault injection) arrives damaged and is discarded instead: the
+// bank work was spent, the buffer is not filled — the next demand access
+// misses and re-fetches — and the prefetch engine's usefulness feedback
+// is charged with a zero-utilization eviction.
+func (c *Controller) insertFetched(id pfbuffer.RowID, touched uint64, at sim.Time) {
+	if c.faults.PoisonInsert(id.Bank, id.Row, at) {
+		c.pf.OnEviction(pfbuffer.Eviction{ID: id})
+		return
+	}
+	if ev := c.buffer.Insert(id, touched, at); ev != nil {
+		c.onEviction(*ev)
+	}
 }
 
 // reserveTSV returns the earliest time a whole-row TSV transfer may begin
@@ -754,6 +782,28 @@ func (c *Controller) recordRowState(s dram.RowState, at sim.Time, bank int, row 
 		c.stats.RowConflicts.Inc()
 		c.emit(obs.EvRowConflict, at, bank, row, 0)
 	}
+}
+
+// CheckInvariant validates the vault's structural invariants: the
+// prefetch buffer's occupancy and recency permutation, every bank's
+// activate/precharge accounting, and — for engines that expose one — the
+// prefetch engine's table bounds (RUT/CT). Read-only; wired into the
+// simulator's epoch invariant checker.
+func (c *Controller) CheckInvariant() error {
+	if err := c.buffer.CheckInvariant(); err != nil {
+		return fmt.Errorf("vault %d: %w", c.id, err)
+	}
+	for b, bank := range c.banks {
+		if err := bank.CheckInvariant(); err != nil {
+			return fmt.Errorf("vault %d bank %d: %w", c.id, b, err)
+		}
+	}
+	if chk, ok := c.pf.(interface{ CheckInvariant() error }); ok {
+		if err := chk.CheckInvariant(); err != nil {
+			return fmt.Errorf("vault %d: %w", c.id, err)
+		}
+	}
+	return nil
 }
 
 // PendingWork reports whether the controller still has queued demand,
