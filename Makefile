@@ -11,7 +11,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build vet test race orchestration lint lint-tools fuzz-smoke fault-smoke verify bench figures clean
+.PHONY: build vet test race orchestration lint lint-tools fuzz-smoke fault-smoke verify bench bench-json bench-check figures clean
 
 build:
 	$(GO) build ./...
@@ -73,6 +73,21 @@ verify: build vet race orchestration lint fault-smoke
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# Simulator-throughput baselines (see docs/PERFORMANCE.md). BENCH_BASELINE
+# is the newest committed BENCH_*.json; the date-stamped names sort
+# chronologically, so lexical max == latest. `make bench-json` records a
+# new baseline; `make bench-check` replays the same scenarios (best of 3)
+# and fails if any scenario's events/sec regressed more than 15%.
+BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+
+bench-json:
+	$(GO) run ./cmd/campbench -bench -bench-count 3
+
+bench-check:
+	@test -n "$(BENCH_BASELINE)" || { echo "bench-check: no BENCH_*.json baseline found"; exit 1; }
+	$(GO) run ./cmd/campbench -bench -bench-count 3 -bench-out "" \
+		-bench-baseline $(BENCH_BASELINE)
 
 figures:
 	$(GO) run ./cmd/campbench

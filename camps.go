@@ -219,7 +219,11 @@ type Results struct {
 	Faults *fault.Counts `json:",omitempty"`
 
 	// Bookkeeping.
-	ElapsedSim    sim.Time
+	ElapsedSim sim.Time
+	// EventsFired counts discrete events the engine executed for the run —
+	// the numerator of campbench's events/sec throughput metric. Excluded
+	// from JSON so metric exports are unchanged by its introduction.
+	EventsFired   uint64 `json:"-"`
 	Instructions  uint64
 	MemReads      uint64
 	MemWrites     uint64
@@ -436,9 +440,10 @@ func RunContext(ctx context.Context, rc RunConfig) (Results, error) {
 	}
 
 	res := Results{
-		Mix:        rc.Mix.ID,
-		Scheme:     rc.Scheme,
-		ElapsedSim: eng.Now(),
+		Mix:         rc.Mix.ID,
+		Scheme:      rc.Scheme,
+		ElapsedSim:  eng.Now(),
+		EventsFired: eng.Fired(),
 	}
 	if inj != nil {
 		counts := inj.Counts()

@@ -1,0 +1,206 @@
+// Benchmark mode: campbench -bench runs a fixed set of simulation
+// scenarios, measures simulator throughput (not the simulated system's
+// performance), and emits a machine-readable BENCH_<date>.json. With
+// -bench-baseline it additionally compares against a committed baseline
+// and exits non-zero on a >15% events/sec regression on any scenario —
+// the CI gate that keeps the event hot path from quietly slowing down.
+//
+// Methodology: each scenario is one complete camps.Run (warmup + measured
+// region). It runs -bench-count times and the best run (highest events/sec)
+// is reported, which discards scheduler noise and cold-cache effects the
+// same way `go test -bench` users take the best of -count runs. Allocation
+// figures come from runtime.MemStats deltas around the same run; the
+// simulation is single-threaded, so the deltas are exact.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"camps"
+)
+
+// benchSchema versions the BENCH_*.json layout.
+const benchSchema = 1
+
+// regressionTolerance is the fractional events/sec loss versus the
+// baseline that fails the gate.
+const regressionTolerance = 0.15
+
+// benchScenario is one named measurement configuration. The set spans the
+// simulator's distinct hot-path mixes: the default CAMPS-MOD system, the
+// prefetch-free path, and a latency-bound low-memory-intensity workload.
+type benchScenario struct {
+	Name   string
+	Mix    string
+	Scheme camps.Scheme
+	Instr  uint64
+	Warmup uint64
+}
+
+func benchScenarios() []benchScenario {
+	return []benchScenario{
+		{Name: "default", Mix: "MX1", Scheme: camps.CAMPSMOD, Instr: 200_000, Warmup: 20_000},
+		{Name: "noprefetch", Mix: "HM1", Scheme: camps.NONE, Instr: 200_000, Warmup: 20_000},
+		{Name: "heavy-lm", Mix: "LM2", Scheme: camps.CAMPSMOD, Instr: 200_000, Warmup: 20_000},
+	}
+}
+
+// benchResult is one scenario's measurement as serialized to the JSON
+// file. WallNS and Allocs are per op, where one op is the full scenario
+// run (the `go test -bench` convention).
+type benchResult struct {
+	Name         string  `json:"name"`
+	Mix          string  `json:"mix"`
+	Scheme       string  `json:"scheme"`
+	Instructions uint64  `json:"instructions"`
+	Events       uint64  `json:"events"`
+	SimPS        int64   `json:"sim_ps"`
+	WallNS       int64   `json:"wall_ns"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Allocs       uint64  `json:"allocs_per_op"`
+	Bytes        uint64  `json:"bytes_per_op"`
+}
+
+// benchFile is the BENCH_<date>.json document.
+type benchFile struct {
+	Schema    int           `json:"schema"`
+	Date      string        `json:"date"`
+	GoVersion string        `json:"go"`
+	CPUs      int           `json:"cpus"`
+	Count     int           `json:"count"`
+	Scenarios []benchResult `json:"scenarios"`
+}
+
+// runBenchmarks executes every scenario count times, reports the best run
+// of each, writes outPath, and compares against baselinePath when given.
+// It returns false if the regression gate failed.
+func runBenchmarks(outPath, baselinePath string, count int, seed uint64) bool {
+	if count < 1 {
+		count = 1
+	}
+	doc := benchFile{
+		Schema:    benchSchema,
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		Count:     count,
+	}
+	for _, sc := range benchScenarios() {
+		best, err := benchOne(sc, count, seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campbench: scenario %s: %v\n", sc.Name, err)
+			return false
+		}
+		fmt.Printf("%-12s %12.0f events/sec  %8.1f ms/op  %8d allocs/op  %8.1f KB/op\n",
+			sc.Name, best.EventsPerSec, float64(best.WallNS)/1e6, best.Allocs, float64(best.Bytes)/1024)
+		doc.Scenarios = append(doc.Scenarios, best)
+	}
+
+	if outPath != "" {
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campbench: %v\n", err)
+			return false
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "campbench: %v\n", err)
+			return false
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+	}
+
+	if baselinePath == "" {
+		return true
+	}
+	return compareBaseline(doc, baselinePath)
+}
+
+// benchOne measures one scenario count times and returns the best run.
+func benchOne(sc benchScenario, count int, seed uint64) (benchResult, error) {
+	mix, err := camps.AnyMixByID(sc.Mix)
+	if err != nil {
+		return benchResult{}, err
+	}
+	rc := camps.RunConfig{
+		Scheme:       sc.Scheme,
+		Mix:          mix,
+		Seed:         seed,
+		WarmupRefs:   sc.Warmup,
+		MeasureInstr: sc.Instr,
+	}
+	var best benchResult
+	for i := 0; i < count; i++ {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		res, err := camps.Run(rc)
+		wall := time.Since(t0)
+		if err != nil {
+			return benchResult{}, err
+		}
+		runtime.ReadMemStats(&after)
+		r := benchResult{
+			Name:         sc.Name,
+			Mix:          sc.Mix,
+			Scheme:       sc.Scheme.String(),
+			Instructions: res.Instructions,
+			Events:       res.EventsFired,
+			SimPS:        int64(res.ElapsedSim),
+			WallNS:       wall.Nanoseconds(),
+			EventsPerSec: float64(res.EventsFired) / wall.Seconds(),
+			Allocs:       after.Mallocs - before.Mallocs,
+			Bytes:        after.TotalAlloc - before.TotalAlloc,
+		}
+		if i == 0 || r.EventsPerSec > best.EventsPerSec {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// compareBaseline checks every scenario present in both files against the
+// regression tolerance. Missing or extra scenarios are reported but do not
+// fail the gate (they appear when the scenario set evolves).
+func compareBaseline(cur benchFile, path string) bool {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campbench: baseline: %v\n", err)
+		return false
+	}
+	var base benchFile
+	if err := json.Unmarshal(buf, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "campbench: baseline %s: %v\n", path, err)
+		return false
+	}
+	byName := make(map[string]benchResult, len(base.Scenarios))
+	for _, r := range base.Scenarios {
+		byName[r.Name] = r
+	}
+	ok := true
+	for _, r := range cur.Scenarios {
+		b, found := byName[r.Name]
+		if !found {
+			fmt.Fprintf(os.Stderr, "campbench: scenario %s not in baseline %s (skipped)\n", r.Name, path)
+			continue
+		}
+		ratio := r.EventsPerSec / b.EventsPerSec
+		verdict := "ok"
+		if ratio < 1-regressionTolerance {
+			verdict = "REGRESSION"
+			ok = false
+		}
+		fmt.Printf("%-12s baseline %12.0f ev/s  now %12.0f ev/s  %+6.1f%%  %s\n",
+			r.Name, b.EventsPerSec, r.EventsPerSec, (ratio-1)*100, verdict)
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "campbench: events/sec regressed more than %.0f%% against %s\n",
+			regressionTolerance*100, path)
+	}
+	return ok
+}

@@ -24,7 +24,15 @@ type MSHRFile struct {
 	backend Backend
 	entries int
 
-	pending  map[uint64][]func(at sim.Time)
+	// The file is a fixed table of entry slots: index maps an outstanding
+	// line address to its slot, free lists the idle slots, and pool
+	// recycles waiter slices. Each slot's completion callback is bound at
+	// construction, so a primary miss issues to the backend without
+	// allocating a closure or a waiter slice in steady state.
+	table    []mshrEntry
+	index    map[uint64]int32
+	free     []int32
+	pool     [][]func(at sim.Time)
 	overflow []mshrReq
 
 	coalesced stats.Counter
@@ -33,6 +41,12 @@ type MSHRFile struct {
 	peak      int
 
 	tr *obs.Tracer // nil unless Instrument was called
+}
+
+type mshrEntry struct {
+	addr    uint64
+	waiters []func(at sim.Time)
+	fire    func(at sim.Time) // completion callback bound to this slot
 }
 
 type mshrReq struct {
@@ -45,12 +59,20 @@ func NewMSHRFile(eng *sim.Engine, backend Backend, entries int) *MSHRFile {
 	if entries <= 0 {
 		panic("cache: MSHR file needs at least one entry")
 	}
-	return &MSHRFile{
+	m := &MSHRFile{
 		eng:     eng,
 		backend: backend,
 		entries: entries,
-		pending: make(map[uint64][]func(at sim.Time)),
+		table:   make([]mshrEntry, entries),
+		index:   make(map[uint64]int32, entries),
+		free:    make([]int32, 0, entries),
 	}
+	for i := entries - 1; i >= 0; i-- {
+		slot := int32(i)
+		m.table[i].fire = func(at sim.Time) { m.complete(slot, at) }
+		m.free = append(m.free, slot)
+	}
+	return m
 }
 
 // Instrument registers the MSHR file's counters with the observability
@@ -64,21 +86,22 @@ func (m *MSHRFile) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	reg.CounterFunc("mshr.coalesced", m.coalesced.Value)
 	reg.CounterFunc("mshr.stalls", m.stalls.Value)
 	reg.CounterFunc("mshr.issued", m.issued.Value)
-	reg.GaugeFunc("mshr.outstanding", func() float64 { return float64(len(m.pending)) })
+	reg.GaugeFunc("mshr.outstanding", func() float64 { return float64(len(m.index)) })
 	reg.GaugeFunc("mshr.peak", func() float64 { return float64(m.peak) })
 }
 
 // ReadLine implements Backend with coalescing and entry bounding.
 func (m *MSHRFile) ReadLine(addr uint64, done func(at sim.Time)) {
-	if waiters, ok := m.pending[addr]; ok {
+	if slot, ok := m.index[addr]; ok {
 		// Secondary miss: ride the outstanding fetch.
-		m.pending[addr] = append(waiters, done)
+		e := &m.table[slot]
+		e.waiters = append(e.waiters, done)
 		m.coalesced.Inc()
 		m.tr.Emit(obs.Event{At: int64(m.eng.Now()), Type: obs.EvMSHRCoalesce,
-			Vault: -1, Row: int64(addr), Arg: int64(len(m.pending))})
+			Vault: -1, Row: int64(addr), Arg: int64(len(m.index))})
 		return
 	}
-	if len(m.pending) >= m.entries {
+	if len(m.index) >= m.entries {
 		m.stalls.Inc()
 		m.overflow = append(m.overflow, mshrReq{addr: addr, done: done})
 		m.tr.Emit(obs.Event{At: int64(m.eng.Now()), Type: obs.EvMSHRStall,
@@ -93,19 +116,43 @@ func (m *MSHRFile) ReadLine(addr uint64, done func(at sim.Time)) {
 func (m *MSHRFile) WriteLine(addr uint64) { m.backend.WriteLine(addr) }
 
 func (m *MSHRFile) allocate(addr uint64, done func(at sim.Time)) {
-	m.pending[addr] = []func(at sim.Time){done}
-	if len(m.pending) > m.peak {
-		m.peak = len(m.pending)
+	slot := m.free[len(m.free)-1]
+	m.free = m.free[:len(m.free)-1]
+	e := &m.table[slot]
+	e.addr = addr
+	var ws []func(at sim.Time)
+	if n := len(m.pool); n > 0 {
+		ws = m.pool[n-1]
+		m.pool[n-1] = nil
+		m.pool = m.pool[:n-1]
+	}
+	e.waiters = append(ws, done)
+	m.index[addr] = slot
+	if len(m.index) > m.peak {
+		m.peak = len(m.index)
 	}
 	m.issued.Inc()
-	m.backend.ReadLine(addr, func(at sim.Time) {
-		waiters := m.pending[addr]
-		delete(m.pending, addr)
-		for _, w := range waiters {
-			w(at)
-		}
-		m.drainOverflow()
-	})
+	m.backend.ReadLine(addr, e.fire)
+}
+
+// complete fires when slot's line fetch returns. The slot is vacated
+// before the waiters run: a waiter may re-enter ReadLine (even for the
+// same address — that correctly issues a fresh fetch) and may claim this
+// very slot, so the entry must not be touched afterwards.
+func (m *MSHRFile) complete(slot int32, at sim.Time) {
+	e := &m.table[slot]
+	ws := e.waiters
+	e.waiters = nil
+	delete(m.index, e.addr)
+	m.free = append(m.free, slot)
+	for _, w := range ws {
+		w(at)
+	}
+	m.drainOverflow()
+	for i := range ws {
+		ws[i] = nil // drop callback refs before the slice is recycled
+	}
+	m.pool = append(m.pool, ws[:0])
 }
 
 // drainOverflow walks the queue once: requests matching an outstanding
@@ -114,12 +161,13 @@ func (m *MSHRFile) allocate(addr uint64, done func(at sim.Time)) {
 func (m *MSHRFile) drainOverflow() {
 	kept := m.overflow[:0]
 	for _, req := range m.overflow {
-		if waiters, ok := m.pending[req.addr]; ok {
-			m.pending[req.addr] = append(waiters, req.done)
+		if slot, ok := m.index[req.addr]; ok {
+			e := &m.table[slot]
+			e.waiters = append(e.waiters, req.done)
 			m.coalesced.Inc()
 			continue
 		}
-		if len(m.pending) < m.entries {
+		if len(m.index) < m.entries {
 			m.allocate(req.addr, req.done)
 			continue
 		}
@@ -141,4 +189,4 @@ func (m *MSHRFile) Issued() uint64 { return m.issued.Value() }
 func (m *MSHRFile) Peak() int { return m.peak }
 
 // Outstanding returns the current outstanding entry count.
-func (m *MSHRFile) Outstanding() int { return len(m.pending) }
+func (m *MSHRFile) Outstanding() int { return len(m.index) }

@@ -4,6 +4,13 @@
 // responds to main-memory latency exactly the way the paper's figures
 // require: more time spent with a full miss window means fewer
 // instructions per cycle.
+//
+// The core's native clock is its own cycle domain: it accumulates an
+// integer cycle count and converts to engine time through the exact
+// rational sim.Clock, so a 3 GHz core (1000/3 ps period) runs at 3 GHz
+// rather than drifting to the truncated 333 ps ≈ 3.003 GHz. Each
+// conversion rounds once from the total cycle count, so the error never
+// accumulates past a picosecond.
 package cpu
 
 import (
@@ -42,17 +49,27 @@ type Core struct {
 
 	issueWidth uint64
 	window     int
-	period     sim.Time
+	clk        sim.Clock
 	quantum    sim.Time
 	budget     uint64 // instructions in the measured region
 	onFinish   func(id int)
 
-	localTime   sim.Time
-	outstanding int
-	blocked     bool
-	finished    bool
-	finishTime  sim.Time
-	instret     uint64
+	cycles       int64    // local clock, in core cycles
+	localTime    sim.Time // clk.Cycles(cycles), kept in sync
+	outstanding  int
+	blocked      bool
+	finished     bool
+	finishCycles int64
+	instret      uint64
+
+	// Hot-path callbacks bound once so per-record scheduling and per-miss
+	// issue do not allocate a new closure each time. Writebacks and demand
+	// reads ride the engine's AtArg path: the address travels in the event
+	// node instead of a capturing closure.
+	stepFn      func()
+	readDoneFn  func(sim.Time)
+	writeLineFn func(uint64)
+	issueReadFn func(uint64)
 
 	// Optional core-side stride prefetcher on the L2 miss stream (the
 	// paper's §2.4 comparison point); nil when disabled.
@@ -74,7 +91,7 @@ func NewCore(eng *sim.Engine, cfg config.Config, id int, r trace.Reader,
 	if budget == 0 {
 		panic("cpu: zero instruction budget")
 	}
-	period := cfg.CPUClock().Period()
+	clk := cfg.CPUClock()
 	c := &Core{
 		eng:        eng,
 		id:         id,
@@ -83,11 +100,15 @@ func NewCore(eng *sim.Engine, cfg config.Config, id int, r trace.Reader,
 		mem:        mem,
 		issueWidth: uint64(cfg.Processor.IssueWidth),
 		window:     cfg.Processor.WindowSize,
-		period:     period,
-		quantum:    period * yieldQuantum,
+		clk:        clk,
+		quantum:    clk.Cycles(yieldQuantum),
 		budget:     budget,
 		onFinish:   onFinish,
 	}
+	c.stepFn = c.step
+	c.readDoneFn = c.readDone
+	c.writeLineFn = func(addr uint64) { c.mem.WriteLine(addr) }
+	c.issueReadFn = func(addr uint64) { c.mem.ReadLine(addr, c.readDoneFn) }
 	if d := cfg.Processor.L2PrefetchDegree; d > 0 {
 		c.stride = cache.NewStrideDetector(16, d)
 	}
@@ -111,8 +132,15 @@ func (c *Core) Instrument(reg *obs.Registry) {
 
 // Start begins execution at the current simulation time.
 func (c *Core) Start() {
-	c.localTime = c.eng.Now()
+	c.cycles = c.clk.ToCyclesCeil(c.eng.Now())
+	c.localTime = c.clk.Cycles(c.cycles)
 	c.step()
+}
+
+// advance moves the local clock forward n cycles.
+func (c *Core) advance(n int64) {
+	c.cycles += n
+	c.localTime = c.clk.Cycles(c.cycles)
 }
 
 // step processes trace records until the core must yield: window full,
@@ -128,7 +156,7 @@ func (c *Core) step() {
 		}
 		if c.localTime > c.eng.Now()+c.quantum {
 			at := c.localTime - c.quantum
-			c.eng.At(at, c.step)
+			c.eng.At(at, c.stepFn)
 			return
 		}
 		rec, err := c.reader.Next()
@@ -141,7 +169,7 @@ func (c *Core) step() {
 		}
 		// Non-memory instructions retire issueWidth per cycle.
 		gap := uint64(rec.Gap)
-		c.localTime += c.period * sim.Time((gap+c.issueWidth-1)/c.issueWidth)
+		c.advance(int64((gap + c.issueWidth - 1) / c.issueWidth))
 
 		res := c.hier.Access(c.id, rec.Addr, rec.Write)
 		memRead := res.Level == 4 && !rec.Write
@@ -149,24 +177,20 @@ func (c *Core) step() {
 			// The cache-lookup latency of a miss overlaps with the memory
 			// access itself (both ride in the out-of-order window), so
 			// only charge the L1 probe serially.
-			c.localTime += c.period * sim.Time(c.hier.L1(c.id).HitLatency())
+			c.advance(int64(c.hier.L1(c.id).HitLatency()))
 		} else {
-			c.localTime += c.period * sim.Time(res.Latency)
+			c.advance(int64(res.Latency))
 		}
 		issueAt := maxTime(c.localTime, c.eng.Now())
 		for _, wb := range res.Writebacks {
-			wb := wb
 			c.memWrites.Inc()
-			c.eng.At(issueAt, func() { c.mem.WriteLine(wb) })
+			c.eng.AtArg(issueAt, c.writeLineFn, wb)
 		}
 		if memRead {
 			// Demand read miss: occupy a window slot until data returns.
 			c.memReads.Inc()
 			c.outstanding++
-			addr := rec.Addr
-			c.eng.At(issueAt, func() {
-				c.mem.ReadLine(addr, c.readDone)
-			})
+			c.eng.AtArg(issueAt, c.issueReadFn, rec.Addr)
 		}
 		if c.stride != nil && res.Level >= 3 && !rec.Write {
 			// Train the core-side prefetcher on the L2 miss stream and
@@ -209,8 +233,10 @@ func (c *Core) readDone(at sim.Time) {
 	if c.blocked {
 		c.blocked = false
 		if at > c.localTime {
+			// Stalled until the data instant; resume on the next core edge.
 			c.stallTime += at - c.localTime
-			c.localTime = at
+			c.cycles = c.clk.ToCyclesCeil(at)
+			c.localTime = c.clk.Cycles(c.cycles)
 		}
 		c.step()
 	}
@@ -221,7 +247,7 @@ func (c *Core) retire(n uint64) {
 	c.instret += n
 	if !c.finished && c.instret >= c.budget {
 		c.finished = true
-		c.finishTime = c.localTime
+		c.finishCycles = c.cycles
 		if c.onFinish != nil {
 			c.onFinish(c.id)
 		}
@@ -232,7 +258,7 @@ func (c *Core) retire(n uint64) {
 func (c *Core) finish() {
 	if !c.finished {
 		c.finished = true
-		c.finishTime = c.localTime
+		c.finishCycles = c.cycles
 		if c.onFinish != nil {
 			c.onFinish(c.id)
 		}
@@ -249,17 +275,17 @@ func (c *Core) Finished() bool { return c.finished }
 // the budget).
 func (c *Core) Instructions() uint64 { return c.instret }
 
-// IPC returns the measured-region instructions per cycle.
+// IPC returns the measured-region instructions per cycle, computed from
+// the core's exact cycle count (no time-domain round trip).
 func (c *Core) IPC() float64 {
-	if c.finishTime == 0 {
+	if c.finishCycles == 0 {
 		return 0
 	}
-	cycles := float64(c.finishTime) / float64(c.period)
 	n := c.instret
 	if n > c.budget {
 		n = c.budget
 	}
-	return float64(n) / cycles
+	return float64(n) / float64(c.finishCycles)
 }
 
 // MemReads returns demand read misses sent to memory.

@@ -41,6 +41,10 @@ type Cube struct {
 	// Observability (nil unless Instrument was called).
 	obsLat *obs.Histogram
 
+	// Free list of in-flight access records; steady-state Access calls
+	// allocate nothing.
+	accFree []*access
+
 	// Fault injection (empty unless SetFaults was called with an
 	// injector): per-vault ingress-stall sites. All site methods are
 	// nil-safe, so a cube without faults carries no extra state.
@@ -186,43 +190,95 @@ func (c *Cube) Access(addr Address, write bool, done func(at sim.Time)) {
 		atVault += c.vsites[loc.Vault].StallDelay(atVault)
 	}
 
-	v := c.vaults[loc.Vault]
-	var vdone func(at sim.Time)
-	if write {
-		vdone = nil
-	} else {
+	a := c.allocAccess()
+	a.v = c.vaults[loc.Vault]
+	a.link = link
+	a.start = now
+	a.done = done
+	a.req = vault.Request{Bank: loc.Bank, Row: loc.Row, Line: loc.Line, Write: write}
+	if !write {
 		c.inflight++
-		vdone = func(ready sim.Time) {
-			// Response: crossbar back, response packet with data.
-			back := link.SendResponse(ready+c.switchLat, c.headerB+c.lineBytes)
-			c.inflight--
-			c.readAMAT.Observe(float64(back - now))
-			c.readHist.Observe(float64(back - now))
-			if c.obsLat != nil {
-				c.obsLat.ObserveInt(int64(back - now))
-			}
-			if done != nil {
-				if back <= c.eng.Now() {
-					done(back)
-				} else {
-					c.eng.At(back, func() { done(back) })
-				}
-			}
-		}
+		a.req.Done = a.vdoneFn
 	}
-
-	c.eng.At(atVault, func() {
-		v.Submit(vault.Request{
-			Bank:  loc.Bank,
-			Row:   loc.Row,
-			Line:  loc.Line,
-			Write: write,
-			Done:  vdone,
-		})
-	})
+	c.eng.At(atVault, a.submitFn)
 
 	if write && done != nil {
-		c.eng.At(atVault, func() { done(atVault) })
+		c.eng.AtWhen(atVault, done)
+	}
+}
+
+// access is the pooled per-request state of one in-flight cube access: its
+// submit and read-completion callbacks are bound to the record once, so
+// issuing a request schedules engine events without allocating closures.
+type access struct {
+	c     *Cube
+	v     *vault.Controller
+	link  *Link
+	req   vault.Request
+	done  func(at sim.Time)
+	start sim.Time
+
+	submitFn func()
+	vdoneFn  func(sim.Time)
+}
+
+func (c *Cube) allocAccess() *access {
+	if n := len(c.accFree); n > 0 {
+		a := c.accFree[n-1]
+		c.accFree[n-1] = nil
+		c.accFree = c.accFree[:n-1]
+		return a
+	}
+	a := &access{c: c}
+	a.submitFn = a.submit
+	a.vdoneFn = a.readDone
+	return a
+}
+
+func (c *Cube) releaseAccess(a *access) {
+	a.v = nil
+	a.link = nil
+	a.done = nil
+	a.req = vault.Request{}
+	c.accFree = append(c.accFree, a)
+}
+
+// submit delivers the request to its vault. Writes release the record
+// immediately (posted semantics: nothing comes back); reads keep it alive
+// until readDone. The record is released before Submit runs because Submit
+// may complete a read synchronously (prefetch-buffer hit), and readDone
+// releasing an already-released record would corrupt the free list.
+func (a *access) submit() {
+	if a.req.Done == nil {
+		v, req := a.v, a.req
+		a.c.releaseAccess(a)
+		v.Submit(req)
+		return
+	}
+	a.v.Submit(a.req) // released in readDone
+}
+
+// readDone fires when the vault has the read's data ready; it models the
+// response path back to the processor-side controller and recycles the
+// access record before invoking the caller's callback (which may itself
+// issue new accesses).
+func (a *access) readDone(ready sim.Time) {
+	c, link, start, done := a.c, a.link, a.start, a.done
+	c.releaseAccess(a)
+	// Response: crossbar back, response packet with data.
+	back := link.SendResponse(ready+c.switchLat, c.headerB+c.lineBytes)
+	c.inflight--
+	c.readAMAT.Observe(float64(back - start))
+	c.readHist.Observe(float64(back - start))
+	if c.obsLat != nil {
+		c.obsLat.ObserveInt(int64(back - start))
+	}
+	if done != nil {
+		if back <= c.eng.Now() {
+			done(back)
+		} else {
+			c.eng.AtWhen(back, done)
+		}
 	}
 }
 

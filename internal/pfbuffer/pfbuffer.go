@@ -237,17 +237,20 @@ func (b *Buffer) promote(i int) {
 // defines a row's utilization as the distinct lines referenced within it,
 // so those lines count toward replacement decisions — but not toward
 // prefetch-usefulness statistics, since the buffer never served them.
-// If the row is already resident the call is a no-op (nil eviction, no
-// insert counted). If the buffer is full the policy chooses a victim, which
-// is returned so the caller can write back dirty data.
-func (b *Buffer) Insert(id RowID, alreadyTouched uint64, now sim.Time) *Eviction {
+// If the row is already resident the call is a no-op (no eviction, no
+// insert counted). If the buffer is full the policy chooses a victim,
+// which is returned (second result true) so the caller can write back
+// dirty data. The eviction record is a value: the insert path allocates
+// nothing.
+func (b *Buffer) Insert(id RowID, alreadyTouched uint64, now sim.Time) (Eviction, bool) {
 	if b.find(id) >= 0 {
-		return nil
+		return Eviction{}, false
 	}
 	if b.linesPerRow < 64 {
 		alreadyTouched &= 1<<uint(b.linesPerRow) - 1
 	}
-	var ev *Eviction
+	var ev Eviction
+	evicted := false
 	slot := -1
 	for i := range b.entries {
 		if !b.entries[i].valid {
@@ -258,12 +261,13 @@ func (b *Buffer) Insert(id RowID, alreadyTouched uint64, now sim.Time) *Eviction
 	if slot < 0 {
 		slot = b.victim()
 		ev = b.evict(slot)
+		evicted = true
 	}
 	e := &b.entries[slot]
 	*e = entry{id: id, valid: true, recency: b.nValid, touched: alreadyTouched, insertAt: now}
 	b.nValid++
 	b.stats.Inserts++
-	return ev
+	return ev, evicted
 }
 
 // victim selects the replacement index per the active policy. The buffer
@@ -313,12 +317,12 @@ func (b *Buffer) victim() int {
 // evict removes entry i and returns its eviction record, repairing the
 // recency permutation of the remaining entries (equivalently: the next
 // insert inherits the victim's rank before being promoted to MRU).
-func (b *Buffer) evict(i int) *Eviction {
+func (b *Buffer) evict(i int) Eviction {
 	e := &b.entries[i]
 	if !e.valid {
 		panic("pfbuffer: evicting invalid entry")
 	}
-	ev := &Eviction{ID: e.id, Dirty: e.dirty, Used: e.used, Util: e.util()}
+	ev := Eviction{ID: e.id, Dirty: e.dirty, Used: e.used, Util: e.util()}
 	old := e.recency
 	e.valid = false
 	for j := range b.entries {
@@ -335,14 +339,15 @@ func (b *Buffer) evict(i int) *Eviction {
 }
 
 // Drop removes a specific row if resident, returning its eviction record
-// (nil if absent). Used by failure-injection tests and future coherence
-// extensions; the CAMPS schemes themselves never drop rows explicitly.
-func (b *Buffer) Drop(id RowID) *Eviction {
+// (second result false if absent). Used by failure-injection tests and
+// future coherence extensions; the CAMPS schemes themselves never drop
+// rows explicitly.
+func (b *Buffer) Drop(id RowID) (Eviction, bool) {
 	i := b.find(id)
 	if i < 0 {
-		return nil
+		return Eviction{}, false
 	}
-	return b.evict(i)
+	return b.evict(i), true
 }
 
 // Flush evicts every resident row (in recency order, LRU first) and
@@ -363,7 +368,7 @@ func (b *Buffer) Flush() []Eviction {
 		}
 		ev := b.evict(idx)
 		if ev.Dirty {
-			dirty = append(dirty, *ev)
+			dirty = append(dirty, ev)
 		}
 	}
 	return dirty

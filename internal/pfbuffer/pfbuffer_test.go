@@ -13,7 +13,7 @@ func TestLookupMissThenInsertHit(t *testing.T) {
 	if b.Lookup(id, 0, false, 0) {
 		t.Fatal("hit on empty buffer")
 	}
-	if ev := b.Insert(id, 0, 0); ev != nil {
+	if _, evicted := b.Insert(id, 0, 0); evicted {
 		t.Fatal("insert into empty buffer evicted")
 	}
 	if !b.Contains(id) {
@@ -35,7 +35,7 @@ func TestDuplicateInsertIgnored(t *testing.T) {
 	b := New(2, 16, LRU)
 	id := RowID{Bank: 0, Row: 1}
 	b.Insert(id, 0, 0)
-	if ev := b.Insert(id, 0, 0); ev != nil {
+	if _, evicted := b.Insert(id, 0, 0); evicted {
 		t.Fatal("duplicate insert evicted something")
 	}
 	if b.Stats().Inserts != 1 {
@@ -67,8 +67,8 @@ func TestLRUEviction(t *testing.T) {
 	b.Insert(a, 0, 0)
 	b.Insert(c, 0, 0)
 	b.Lookup(a, 0, false, 0) // a becomes MRU; c is LRU
-	ev := b.Insert(d, 0, 0)
-	if ev == nil || ev.ID != c {
+	ev, evicted := b.Insert(d, 0, 0)
+	if !evicted || ev.ID != c {
 		t.Fatalf("evicted %+v, want row %v", ev, c)
 	}
 	if !b.Contains(a) || !b.Contains(d) || b.Contains(c) {
@@ -87,8 +87,8 @@ func TestUtilRecencyPrefersFullyConsumedRow(t *testing.T) {
 	}
 	b.Lookup(partial, 0, false, 0)
 	b.Lookup(full, 0, false, 0) // full row is MRU again
-	ev := b.Insert(RowID{0, 3}, 0, 0)
-	if ev == nil || ev.ID != full {
+	ev, evicted := b.Insert(RowID{0, 3}, 0, 0)
+	if !evicted || ev.ID != full {
 		t.Fatalf("evicted %+v, want fully consumed row despite MRU status", ev)
 	}
 	if b.Stats().FullRowEvicts != 1 {
@@ -108,8 +108,8 @@ func TestUtilRecencyMinimumSum(t *testing.T) {
 	b.Lookup(r0, 1, false, 0)
 	b.Lookup(r0, 2, false, 0) // r0: util 3, recency 2; r1: 0,0; r2: 0,1
 	// sums: r0=5, r1=0, r2=1 -> evict r1.
-	ev := b.Insert(RowID{0, 13}, 0, 0)
-	if ev == nil || ev.ID != r1 {
+	ev, evicted := b.Insert(RowID{0, 13}, 0, 0)
+	if !evicted || ev.ID != r1 {
 		t.Fatalf("evicted %v, want %v (min util+recency)", ev.ID, r1)
 	}
 }
@@ -127,8 +127,8 @@ func TestUtilRecencyTieBreaksOnUtilization(t *testing.T) {
 	b.Lookup(hi, 2, false, 0) // hi: util 3, recency 1; lo: util 2, recency 0 -> 4 vs 2.
 	// Directly verify the documented rule with a crafted equal-sum state:
 	// lo(util 2, recency 0)=2 vs hi(util 3, recency 1)=4 -> lo evicted (min sum).
-	ev := b.Insert(RowID{0, 3}, 0, 0)
-	if ev == nil || ev.ID != lo {
+	ev, evicted := b.Insert(RowID{0, 3}, 0, 0)
+	if !evicted || ev.ID != lo {
 		t.Fatalf("evicted %v, want %v", ev.ID, lo)
 	}
 }
@@ -143,8 +143,8 @@ func TestUtilRecencyEqualSumPrefersLowerUtil(t *testing.T) {
 	b.Lookup(a, 1, false, 0) // a: util 2, recency 1; c: util 1, recency 0 -> sums 3 vs 1? evict c.
 	// Construct exact tie: a(util 2, recency 0) vs c(util 1, recency 1).
 	b.Lookup(c, 1, false, 0) // c: util 2, recency 1; a: util 2, recency 0 -> sums 2 vs 3.
-	ev := b.Insert(RowID{0, 9}, 0, 0)
-	if ev == nil || ev.ID != a {
+	ev, evicted := b.Insert(RowID{0, 9}, 0, 0)
+	if !evicted || ev.ID != a {
 		t.Fatalf("evicted %v, want %v (lower sum)", ev.ID, a)
 	}
 }
@@ -154,8 +154,8 @@ func TestDirtyEvictionReported(t *testing.T) {
 	d := RowID{0, 5}
 	b.Insert(d, 0, 0)
 	b.Lookup(d, 0, true, 0) // write marks dirty
-	ev := b.Insert(RowID{0, 6}, 0, 0)
-	if ev == nil || !ev.Dirty || !ev.Used || ev.Util != 1 {
+	ev, evicted := b.Insert(RowID{0, 6}, 0, 0)
+	if !evicted || !ev.Dirty || !ev.Used || ev.Util != 1 {
 		t.Fatalf("eviction = %+v, want dirty used util=1", ev)
 	}
 	if b.Stats().DirtyEvicts != 1 {
@@ -200,12 +200,12 @@ func TestFlushReturnsDirtyRows(t *testing.T) {
 func TestDrop(t *testing.T) {
 	b := New(2, 16, LRU)
 	id := RowID{0, 3}
-	if b.Drop(id) != nil {
+	if _, ok := b.Drop(id); ok {
 		t.Fatal("drop of absent row returned eviction")
 	}
 	b.Insert(id, 0, 0)
-	ev := b.Drop(id)
-	if ev == nil || ev.ID != id {
+	ev, ok := b.Drop(id)
+	if !ok || ev.ID != id {
 		t.Fatalf("drop returned %+v", ev)
 	}
 	if b.Contains(id) {

@@ -8,11 +8,17 @@ import (
 )
 
 func TestClockConversions(t *testing.T) {
-	cpu := NewClock(3000) // 3 GHz
-	if got := cpu.Period(); got != 333 {
-		t.Fatalf("3GHz period = %d ps, want 333", got)
+	cpu := NewClock(3000) // 3 GHz: period is 1000/3 ps, not a whole picosecond
+	if cpu.Integral() {
+		t.Fatal("3GHz clock claims an integral period")
+	}
+	if num, den := cpu.PeriodRational(); num != 1000 || den != 3 {
+		t.Fatalf("3GHz period = %d/%d ps, want 1000/3", num, den)
 	}
 	dram := NewClock(800) // DDR3-1600 bus clock
+	if !dram.Integral() {
+		t.Fatal("800MHz clock claims a non-integral period")
+	}
 	if got := dram.Period(); got != 1250 {
 		t.Fatalf("800MHz period = %d ps, want 1250", got)
 	}
@@ -22,6 +28,49 @@ func TestClockConversions(t *testing.T) {
 	if got := dram.ToCycles(13750); got != 11 {
 		t.Fatalf("ToCycles(13750) = %d, want 11", got)
 	}
+}
+
+// Regression for the clock-period truncation drift: the old implementation
+// stored the 3 GHz period as trunc(1e6/3000) = 333 ps, so 3 million cycles
+// measured 999 µs — the core silently ran at 3.003 GHz. The rational clock
+// must land exactly on one millisecond.
+func TestClockExactRational(t *testing.T) {
+	cpu := NewClock(3000)
+	if got := cpu.Cycles(3_000_000); got != Millisecond {
+		t.Fatalf("3M cycles at 3GHz = %d ps, want exactly %d (1ms); drift = %d ps",
+			got, Millisecond, got-Millisecond)
+	}
+	if got := cpu.ToCycles(Millisecond); got != 3_000_000 {
+		t.Fatalf("ToCycles(1ms) = %d, want 3000000", got)
+	}
+	// Cumulative conversions stay within one picosecond of the true
+	// rational instant at any cycle count.
+	for _, n := range []int64{1, 2, 3, 7, 999, 1_000_001, 3_000_000_000} {
+		got := cpu.Cycles(n)
+		exact := float64(n) * 1000.0 / 3.0
+		if d := float64(got) - exact; d < -1 || d > 0 {
+			t.Fatalf("Cycles(%d) = %d, exact %.2f: rounding outside [-1,0]", n, got, exact)
+		}
+	}
+	// Ceil conversion: first edge at or after an instant.
+	if got := cpu.ToCyclesCeil(1); got != 1 {
+		t.Fatalf("ToCyclesCeil(1) = %d, want 1", got)
+	}
+	if got := cpu.ToCyclesCeil(333); got != 1 { // edge 1 is at 333.33 ps
+		t.Fatalf("ToCyclesCeil(333) = %d, want 1", got)
+	}
+	if got := cpu.ToCyclesCeil(334); got != 2 {
+		t.Fatalf("ToCyclesCeil(334) = %d, want 2", got)
+	}
+}
+
+func TestClockPeriodPanicsWhenNotIntegral(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Period() on a 3GHz clock did not panic")
+		}
+	}()
+	NewClock(3000).Period()
 }
 
 func TestClockNextEdge(t *testing.T) {
@@ -127,10 +176,87 @@ func TestEngineCancel(t *testing.T) {
 	}
 }
 
-func TestEngineCancelNil(t *testing.T) {
+func TestEngineCancelZero(t *testing.T) {
 	eng := NewEngine()
-	if eng.Cancel(nil) {
-		t.Fatal("Cancel(nil) returned true")
+	if eng.Cancel(Event{}) {
+		t.Fatal("Cancel of zero Event returned true")
+	}
+	if (Event{}).Scheduled() {
+		t.Fatal("zero Event reports scheduled")
+	}
+}
+
+// A handle to an event that already fired must stay inert even after the
+// engine recycles its node for a newer event: Scheduled() must not report
+// the new occupant, and Cancel must not cancel it.
+func TestEngineStaleHandleAfterFire(t *testing.T) {
+	eng := NewEngine()
+	ev := eng.At(10, func() {})
+	eng.Run()
+	if ev.Scheduled() {
+		t.Fatal("fired event still reports scheduled")
+	}
+	// Reuse the pooled node for a new event. With chunked pooling the node
+	// just recycled is on top of the free list, so this occupies it.
+	fired := false
+	ev2 := eng.At(20, func() { fired = true })
+	if ev.Scheduled() {
+		t.Fatal("stale handle reports scheduled after node reuse")
+	}
+	if ev.When() != 0 {
+		t.Fatalf("stale handle When() = %v, want 0", ev.When())
+	}
+	if eng.Cancel(ev) {
+		t.Fatal("stale handle cancelled the node's new occupant")
+	}
+	eng.Run()
+	if !fired {
+		t.Fatal("new occupant did not fire")
+	}
+	_ = ev2
+}
+
+// Same staleness guarantee for the cancel-then-reschedule order.
+func TestEngineStaleHandleAfterCancel(t *testing.T) {
+	eng := NewEngine()
+	ev := eng.At(10, func() { t.Fatal("cancelled event fired") })
+	if !eng.Cancel(ev) {
+		t.Fatal("cancel failed")
+	}
+	fired := false
+	ev2 := eng.At(10, func() { fired = true })
+	if ev.Scheduled() {
+		t.Fatal("cancelled handle reports scheduled after node reuse")
+	}
+	if eng.Cancel(ev) {
+		t.Fatal("double cancel through a stale handle succeeded")
+	}
+	if !ev2.Scheduled() {
+		t.Fatal("fresh handle on the recycled node reports not scheduled")
+	}
+	eng.Run()
+	if !fired {
+		t.Fatal("rescheduled event did not fire")
+	}
+}
+
+// Pooled nodes must make the schedule/fire cycle allocation-free in steady
+// state; this is the 0 allocs/op acceptance bar for the hot path.
+func TestEngineSteadyStateZeroAlloc(t *testing.T) {
+	eng := NewEngine()
+	fn := func() {}
+	// Warm the pool past its high-water mark.
+	for i := 0; i < 4*nodeChunk; i++ {
+		eng.At(eng.Now(), fn)
+	}
+	for eng.Step() {
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		eng.At(eng.Now()+1, fn)
+		eng.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule+Step allocates %.1f per op in steady state, want 0", allocs)
 	}
 }
 
@@ -154,6 +280,68 @@ func TestEngineRunUntil(t *testing.T) {
 	eng.RunFor(10)
 	if len(fired) != 3 || eng.Now() != 35 {
 		t.Fatalf("RunFor(10): fired=%v now=%v", fired, eng.Now())
+	}
+}
+
+func TestEngineRunUntilBeforeFirstEvent(t *testing.T) {
+	eng := NewEngine()
+	fired := false
+	eng.At(100, func() { fired = true })
+	eng.RunUntil(50)
+	if fired {
+		t.Fatal("event beyond the deadline fired")
+	}
+	if eng.Now() != 50 {
+		t.Fatalf("time advanced to %v, want the deadline 50", eng.Now())
+	}
+	if eng.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", eng.Pending())
+	}
+	eng.Run()
+	if !fired || eng.Now() != 100 {
+		t.Fatalf("after Run: fired=%v now=%v", fired, eng.Now())
+	}
+}
+
+func TestEngineHaltInsideDaemonEvent(t *testing.T) {
+	eng := NewEngine()
+	var fired []Time
+	eng.AtDaemon(10, func() {
+		fired = append(fired, eng.Now())
+		eng.Halt()
+	})
+	eng.At(20, func() { fired = append(fired, eng.Now()) })
+	eng.RunUntil(100)
+	if len(fired) != 1 || fired[0] != 10 {
+		t.Fatalf("fired = %v, want only the daemon at 10", fired)
+	}
+	if !eng.Halted() {
+		t.Fatal("Halted() false after daemon Halt")
+	}
+	// Halt inside RunUntil must pin time at the halting event, not the
+	// deadline.
+	if eng.Now() != 10 {
+		t.Fatalf("time = %v after halt at 10, want 10", eng.Now())
+	}
+}
+
+func TestEngineRunForZero(t *testing.T) {
+	eng := NewEngine()
+	eng.At(5, func() {})
+	eng.Run()
+	var fired []int
+	eng.At(eng.Now(), func() {
+		fired = append(fired, 1)
+		// Nested same-instant work also falls inside RunFor(0).
+		eng.At(eng.Now(), func() { fired = append(fired, 2) })
+	})
+	eng.At(eng.Now()+1, func() { fired = append(fired, 3) })
+	eng.RunFor(0)
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 2 {
+		t.Fatalf("RunFor(0) fired %v, want the two now-instant events", fired)
+	}
+	if eng.Now() != 5 {
+		t.Fatalf("RunFor(0) moved time to %v, want 5", eng.Now())
 	}
 }
 
@@ -221,7 +409,7 @@ func TestEngineCancelProperty(t *testing.T) {
 	for trial := 0; trial < 50; trial++ {
 		eng := NewEngine()
 		type rec struct {
-			ev        *Event
+			ev        Event
 			when      Time
 			cancelled bool
 		}

@@ -7,9 +7,10 @@ type Ticker struct {
 	eng      *Engine
 	interval Time
 	fn       func()
-	ev       *Event
+	ev       Event
 	stopped  bool
 	daemon   bool
+	tick     func() // rearm closure, built once
 }
 
 // NewTicker schedules fn every interval picoseconds, first firing one
@@ -31,12 +32,7 @@ func newTicker(eng *Engine, interval Time, fn func(), daemon bool) *Ticker {
 		panic("sim: ticker interval must be positive")
 	}
 	t := &Ticker{eng: eng, interval: interval, fn: fn, daemon: daemon}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	tick := func() {
+	t.tick = func() {
 		if t.stopped {
 			return
 		}
@@ -45,10 +41,15 @@ func (t *Ticker) arm() {
 			t.arm()
 		}
 	}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
 	if t.daemon {
-		t.ev = t.eng.AtDaemon(t.eng.Now()+t.interval, tick)
+		t.ev = t.eng.AtDaemon(t.eng.Now()+t.interval, t.tick)
 	} else {
-		t.ev = t.eng.After(t.interval, tick)
+		t.ev = t.eng.After(t.interval, t.tick)
 	}
 }
 

@@ -49,14 +49,31 @@ type Controller struct {
 	buffer *pfbuffer.Buffer
 	pf     prefetch.Engine
 
-	readQ  []*pending
-	writeQ []*pending
+	// Request queues hold value-type nodes: enqueue/dequeue move small
+	// structs inside preallocated backing arrays instead of allocating a
+	// node per request.
+	readQ  []pending
+	writeQ []pending
 	fetchQ []prefetch.Fetch
 	storeQ []pfbuffer.RowID
 
-	timing      dram.Timing
-	nextRefresh []sim.Time
-	draining    bool // write-drain mode latch
+	// Hot-path callbacks and scratch space, allocated once per controller.
+	scheduleFn   func()
+	retryFn      func()
+	fetchScratch []prefetch.Fetch
+
+	// Per-bank queued-work counts, maintained on every enqueue/dequeue.
+	// schedule() runs after every bank event; the counts let startJob skip
+	// the O(queue-length) scans for the (common) banks with nothing queued.
+	readCount  []int
+	writeCount []int
+	storeCount []int
+	fetchCount []int
+
+	timing        dram.Timing
+	nextRefresh   []sim.Time
+	refreshWakeAt sim.Time // time of the vault's single armed refresh wake
+	draining      bool     // write-drain mode latch
 
 	pfHitLat  sim.Time
 	lines     int
@@ -109,6 +126,15 @@ func New(eng *sim.Engine, cfg config.Config, scheme prefetch.Scheme, id int) *Co
 		maxFetchQ:   4 * nbanks,
 		timing:      timing,
 		nextRefresh: make([]sim.Time, nbanks),
+		readCount:   make([]int, nbanks),
+		writeCount:  make([]int, nbanks),
+		storeCount:  make([]int, nbanks),
+		fetchCount:  make([]int, nbanks),
+	}
+	c.scheduleFn = c.schedule
+	c.retryFn = func() {
+		c.retryArmed = false
+		c.schedule()
 	}
 	if cfg.HMC.TSVGBps > 0 {
 		c.tsvRowTime = sim.Time(int64(cfg.HMC.RowBytes) * 1_000_000_000_000 / (cfg.HMC.TSVGBps * 1_000_000_000))
@@ -122,12 +148,15 @@ func New(eng *sim.Engine, cfg config.Config, scheme prefetch.Scheme, id int) *Co
 	}
 	for i := range c.banks {
 		c.banks[i] = dram.NewBank(timing)
-		// Stagger per-bank refresh across the tREFI window and arm a daemon
-		// wake so refresh happens even while the vault is otherwise idle
-		// (daemon: refresh alone must not keep the simulation running).
+		// Stagger per-bank refresh across the tREFI window.
 		c.nextRefresh[i] = timing.REFI * sim.Time(i+1) / sim.Time(nbanks)
-		c.eng.AtDaemon(c.nextRefresh[i], c.schedule)
 	}
+	// One daemon wake per vault covers the earliest refresh deadline
+	// (daemon: refresh alone must not keep the simulation running);
+	// schedule() re-arms it as deadlines advance. Bank 0 holds the minimum
+	// of the staggered initial deadlines.
+	c.refreshWakeAt = c.nextRefresh[0]
+	c.eng.AtDaemon(c.refreshWakeAt, c.scheduleFn)
 	c.pf = prefetch.New(scheme, cfg, prefetch.Context{
 		Banks:       nbanks,
 		LinesPerRow: c.lines,
@@ -143,8 +172,8 @@ type queueView Controller
 // PendingReadsForRow counts queued demand reads for (bank,row).
 func (q *queueView) PendingReadsForRow(bank int, row int64) int {
 	n := 0
-	for _, p := range q.readQ {
-		if p.req.Bank == bank && p.req.Row == row {
+	for i := range q.readQ {
+		if q.readQ[i].req.Bank == bank && q.readQ[i].req.Row == row {
 			n++
 		}
 	}
@@ -251,16 +280,18 @@ func (c *Controller) Submit(req Request) {
 	}
 	c.stats.BufferMisses.Inc()
 
-	p := &pending{req: req, arrived: now}
+	p := pending{req: req, arrived: now}
 	if req.Write {
 		// Posted write: the writer does not wait for the drain.
 		c.complete(req, now, now)
 		c.writeQ = append(c.writeQ, p)
+		c.writeCount[req.Bank]++
 		if len(c.writeQ) > c.stats.MaxWriteQueue {
 			c.stats.MaxWriteQueue = len(c.writeQ)
 		}
 	} else {
 		c.readQ = append(c.readQ, p)
+		c.readCount[req.Bank]++
 		if len(c.readQ) > c.stats.MaxReadQueue {
 			c.stats.MaxReadQueue = len(c.readQ)
 		}
@@ -281,7 +312,9 @@ func (c *Controller) complete(req Request, arrived, ready sim.Time) {
 		req.Done(ready)
 		return
 	}
-	c.eng.At(ready, func() { req.Done(ready) })
+	// AtWhen passes the scheduled time to Done directly, avoiding a
+	// closure allocation per delayed completion.
+	c.eng.AtWhen(ready, req.Done)
 }
 
 // enqueueFetches admits prefetch directives, deduplicating against the
@@ -306,12 +339,17 @@ func (c *Controller) enqueueFetches(fs []prefetch.Fetch) {
 		}
 		if len(c.fetchQ) >= c.maxFetchQ {
 			// Drop the oldest directive: newer ones reflect fresher state.
+			// Shift down in place so the queue keeps its backing array
+			// instead of leaking capacity off the front.
 			old := c.fetchQ[0]
-			c.fetchQ = c.fetchQ[1:]
+			copy(c.fetchQ, c.fetchQ[1:])
+			c.fetchQ = c.fetchQ[:len(c.fetchQ)-1]
+			c.fetchCount[old.Bank]--
 			c.stats.FetchesDropped.Inc()
 			c.emit(obs.EvPrefetchDrop, c.eng.Now(), old.Bank, old.Row, 0)
 		}
 		c.fetchQ = append(c.fetchQ, f)
+		c.fetchCount[f.Bank]++
 		if len(c.fetchQ) > c.stats.MaxFetchQueue {
 			c.stats.MaxFetchQueue = len(c.fetchQ)
 		}
@@ -345,6 +383,7 @@ func (c *Controller) schedule() {
 		}
 		c.startJob(b, now)
 	}
+	c.armRefreshWake(now)
 	if !c.PendingWork() {
 		return
 	}
@@ -362,10 +401,33 @@ func (c *Controller) schedule() {
 	}
 	c.retryArmed = true
 	c.retryAt = earliest
-	c.eng.At(earliest, func() {
-		c.retryArmed = false
-		c.schedule()
-	})
+	c.eng.At(earliest, c.retryFn)
+}
+
+// armRefreshWake keeps exactly one daemon wake pending at the earliest
+// per-bank refresh deadline. Refresh must fire even in an otherwise idle
+// vault, but a standing wake per bank would hold banks x vaults daemon
+// events in the queue at all times; since deadlines only ever advance, one
+// wake per vault re-armed here is enough. A deadline already due is left
+// to startJob (idle bank) or the busy bank's release wake — every started
+// job schedules one at its release time.
+func (c *Controller) armRefreshWake(now sim.Time) {
+	// Earliest deadline still in the future: already-due banks are either
+	// refreshing or busy, and their release wakes re-enter schedule().
+	earliest := sim.Time(-1)
+	for _, t := range c.nextRefresh {
+		if t > now && (earliest < 0 || t < earliest) {
+			earliest = t
+		}
+	}
+	if earliest < 0 {
+		return
+	}
+	if c.refreshWakeAt > now && c.refreshWakeAt <= earliest {
+		return // the armed wake already covers the deadline
+	}
+	c.refreshWakeAt = earliest
+	c.eng.AtDaemon(earliest, c.scheduleFn)
 }
 
 // startJob picks and launches at most one job for idle bank b.
@@ -379,7 +441,7 @@ func (c *Controller) startJob(b int, now sim.Time) {
 	if until := c.faults.BankBlockedUntil(b, now); until > 0 {
 		if until > c.busy[b] {
 			c.busy[b] = until
-			c.eng.AtDaemon(until, c.schedule)
+			c.eng.AtDaemon(until, c.scheduleFn)
 		}
 		return
 	}
@@ -387,21 +449,25 @@ func (c *Controller) startJob(b int, now sim.Time) {
 		c.runRefresh(b, now)
 		return
 	}
-	if c.draining {
-		if p := c.takeWrite(b); p != nil {
+	if c.draining && c.writeCount[b] > 0 {
+		if p, ok := c.takeWrite(b); ok {
 			c.runWrite(b, now, p)
 			return
 		}
 	}
-	if p := c.takeRead(b, now); p != nil {
-		c.runRead(b, now, p)
-		return
+	if c.readCount[b] > 0 {
+		if p, ok := c.takeRead(b, now); ok {
+			c.runRead(b, now, p)
+			return
+		}
 	}
-	if id, ok := c.takeStore(b); ok {
-		c.runStore(b, now, id)
-		return
+	if c.storeCount[b] > 0 {
+		if id, ok := c.takeStore(b); ok {
+			c.runStore(b, now, id)
+			return
+		}
 	}
-	for {
+	for c.fetchCount[b] > 0 {
 		f, ok := c.takeFetch(b)
 		if !ok {
 			break
@@ -410,9 +476,11 @@ func (c *Controller) startJob(b int, now sim.Time) {
 			return
 		}
 	}
-	if p := c.takeWrite(b); p != nil {
-		c.runWrite(b, now, p)
-		return
+	if c.writeCount[b] > 0 {
+		if p, ok := c.takeWrite(b); ok {
+			c.runWrite(b, now, p)
+			return
+		}
 	}
 }
 
@@ -420,31 +488,15 @@ func (c *Controller) startJob(b int, now sim.Time) {
 // bank b: the oldest row-buffer hit if any, otherwise the oldest request.
 // Reads whose row has meanwhile arrived in the prefetch buffer are served
 // from it immediately and do not occupy the bank.
-func (c *Controller) takeRead(b int, now sim.Time) *pending {
+func (c *Controller) takeRead(b int, now sim.Time) (pending, bool) {
 	for {
-		idx := -1
-		open := c.banks[b].OpenRow()
-		oldest := -1
-		for i, p := range c.readQ {
-			if p.req.Bank != b {
-				continue
-			}
-			if oldest < 0 {
-				oldest = i
-			}
-			if c.cfg.HMC.Scheduler == config.FRFCFS && open != dram.NoRow && p.req.Row == open {
-				idx = i
-				break
-			}
-		}
+		idx := c.pickQueued(c.readQ, b)
 		if idx < 0 {
-			idx = oldest
-		}
-		if idx < 0 {
-			return nil
+			return pending{}, false
 		}
 		p := c.readQ[idx]
 		c.readQ = append(c.readQ[:idx], c.readQ[idx+1:]...)
+		c.readCount[b]--
 		// Service-time buffer re-check: a fetch may have landed the row in
 		// the buffer after this request was queued.
 		id := pfbuffer.RowID{Bank: p.req.Bank, Row: p.req.Row}
@@ -455,36 +507,41 @@ func (c *Controller) takeRead(b int, now sim.Time) *pending {
 			c.complete(p.req, p.arrived, now+c.pfHitLat)
 			continue
 		}
-		return p
+		return p, true
 	}
 }
 
 // takeWrite removes the scheduler's choice among queued writes for bank b.
-func (c *Controller) takeWrite(b int) *pending {
-	idx := -1
+func (c *Controller) takeWrite(b int) (pending, bool) {
+	idx := c.pickQueued(c.writeQ, b)
+	if idx < 0 {
+		return pending{}, false
+	}
+	p := c.writeQ[idx]
+	c.writeQ = append(c.writeQ[:idx], c.writeQ[idx+1:]...)
+	c.writeCount[b]--
+	return p, true
+}
+
+// pickQueued returns the index of the FR-FCFS choice among queued requests
+// for bank b: the oldest row-buffer hit if any, otherwise the oldest
+// request; -1 if none target b.
+func (c *Controller) pickQueued(q []pending, b int) int {
 	open := c.banks[b].OpenRow()
+	frfcfs := c.cfg.HMC.Scheduler == config.FRFCFS && open != dram.NoRow
 	oldest := -1
-	for i, p := range c.writeQ {
-		if p.req.Bank != b {
+	for i := range q {
+		if q[i].req.Bank != b {
 			continue
 		}
 		if oldest < 0 {
 			oldest = i
 		}
-		if c.cfg.HMC.Scheduler == config.FRFCFS && open != dram.NoRow && p.req.Row == open {
-			idx = i
-			break
+		if frfcfs && q[i].req.Row == open {
+			return i
 		}
 	}
-	if idx < 0 {
-		idx = oldest
-	}
-	if idx < 0 {
-		return nil
-	}
-	p := c.writeQ[idx]
-	c.writeQ = append(c.writeQ[:idx], c.writeQ[idx+1:]...)
-	return p
+	return oldest
 }
 
 // takeFetch removes the first queued fetch directive for bank b.
@@ -492,6 +549,7 @@ func (c *Controller) takeFetch(b int) (prefetch.Fetch, bool) {
 	for i, f := range c.fetchQ {
 		if f.Bank == b {
 			c.fetchQ = append(c.fetchQ[:i], c.fetchQ[i+1:]...)
+			c.fetchCount[b]--
 			return f, true
 		}
 	}
@@ -503,6 +561,7 @@ func (c *Controller) takeStore(b int) (pfbuffer.RowID, bool) {
 	for i, id := range c.storeQ {
 		if id.Bank == b {
 			c.storeQ = append(c.storeQ[:i], c.storeQ[i+1:]...)
+			c.storeCount[b]--
 			return id, true
 		}
 	}
@@ -561,7 +620,7 @@ func (c *Controller) openFor(b int, start sim.Time, row int64) (dram.RowState, i
 }
 
 // runRead executes one demand read on bank b.
-func (c *Controller) runRead(b int, now sim.Time, p *pending) {
+func (c *Controller) runRead(b int, now sim.Time, p pending) {
 	bank := c.banks[b]
 	state, displaced, colAt := c.openFor(b, now, p.req.Row)
 	dataDone := bank.Read(colAt)
@@ -573,7 +632,7 @@ func (c *Controller) runRead(b int, now sim.Time, p *pending) {
 		state, displaced)
 	c.dispatchFetches(b, p.req.Row, fetches)
 	c.autoPrecharge(b, p.req.Row)
-	c.eng.At(c.busy[b], c.schedule)
+	c.eng.At(c.busy[b], c.scheduleFn)
 }
 
 // autoPrecharge closes the row after a demand access under the closed-page
@@ -593,7 +652,7 @@ func (c *Controller) autoPrecharge(b int, row int64) {
 }
 
 // runWrite drains one demand write to bank b.
-func (c *Controller) runWrite(b int, now sim.Time, p *pending) {
+func (c *Controller) runWrite(b int, now sim.Time, p pending) {
 	// Service-time buffer re-check: a fetch may have landed the row in the
 	// buffer after this write was queued; writing the bank then would
 	// leave the buffered copy stale.
@@ -616,7 +675,7 @@ func (c *Controller) runWrite(b int, now sim.Time, p *pending) {
 		state, displaced)
 	c.dispatchFetches(b, p.req.Row, fetches)
 	c.autoPrecharge(b, p.req.Row)
-	c.eng.At(c.busy[b], c.schedule)
+	c.eng.At(c.busy[b], c.scheduleFn)
 }
 
 // dispatchFetches routes a demand-triggered fetch of the *currently open
@@ -625,7 +684,7 @@ func (c *Controller) runWrite(b int, now sim.Time, p *pending) {
 // demand stream drain the row from the bank before the copy happens. All
 // other fetch targets go through the queue.
 func (c *Controller) dispatchFetches(b int, servedRow int64, fetches []prefetch.Fetch) {
-	var queued []prefetch.Fetch
+	queued := c.fetchScratch[:0]
 	for _, f := range fetches {
 		if f.Bank == b && f.Row == servedRow && c.banks[b].OpenRow() == servedRow {
 			c.runInlineFetch(b, f)
@@ -634,6 +693,7 @@ func (c *Controller) dispatchFetches(b int, servedRow int64, fetches []prefetch.
 		queued = append(queued, f)
 	}
 	c.enqueueFetches(queued)
+	c.fetchScratch = queued[:0]
 }
 
 // runInlineFetch copies the open row to the buffer immediately after the
@@ -681,7 +741,7 @@ func (c *Controller) runFetch(b int, now sim.Time, f prefetch.Fetch) bool {
 	c.stats.FetchesIssued.Inc()
 	c.emit(obs.EvPrefetchIssue, start, b, f.Row, 0)
 	c.eng.At(end, func() { c.insertFetched(id, f.Touched, end) })
-	c.eng.At(release, c.schedule)
+	c.eng.At(release, c.scheduleFn)
 	return true
 }
 
@@ -695,8 +755,8 @@ func (c *Controller) insertFetched(id pfbuffer.RowID, touched uint64, at sim.Tim
 		c.pf.OnEviction(pfbuffer.Eviction{ID: id})
 		return
 	}
-	if ev := c.buffer.Insert(id, touched, at); ev != nil {
-		c.onEviction(*ev)
+	if ev, ok := c.buffer.Insert(id, touched, at); ok {
+		c.onEviction(ev)
 	}
 }
 
@@ -732,7 +792,7 @@ func (c *Controller) runStore(b int, now sim.Time, id pfbuffer.RowID) {
 	c.busy[b] = release
 	c.stats.RowWritebacks.Inc()
 	c.emit(obs.EvRowWriteback, start, b, id.Row, 0)
-	c.eng.At(release, c.schedule)
+	c.eng.At(release, c.scheduleFn)
 }
 
 // runRefresh performs one per-bank refresh (precharging first if needed).
@@ -747,12 +807,10 @@ func (c *Controller) runRefresh(b int, now sim.Time) {
 	c.busy[b] = done
 	c.stats.Refreshes.Inc()
 	c.nextRefresh[b] += c.timing.REFI
-	if c.nextRefresh[b] > done {
-		c.eng.AtDaemon(c.nextRefresh[b], c.schedule)
-	}
-	// Daemon: refresh self-sustains forever; queued demand is woken by the
-	// scheduler's explicit retry instead.
-	c.eng.AtDaemon(done, c.schedule)
+	// The bank's next deadline is covered by armRefreshWake when this
+	// schedule() pass ends. Daemon: refresh self-sustains forever; queued
+	// demand is woken by the scheduler's explicit retry instead.
+	c.eng.AtDaemon(done, c.scheduleFn)
 }
 
 // onEviction routes a buffer eviction to the engine and queues the row's
@@ -764,6 +822,7 @@ func (c *Controller) onEviction(ev pfbuffer.Eviction) {
 	c.pf.OnEviction(ev)
 	if ev.Dirty || !c.cfg.PFBuffer.WritebackDirtyOnly {
 		c.storeQ = append(c.storeQ, ev.ID)
+		c.storeCount[ev.ID.Bank]++
 		c.schedule()
 	}
 }
@@ -801,6 +860,35 @@ func (c *Controller) CheckInvariant() error {
 	if chk, ok := c.pf.(interface{ CheckInvariant() error }); ok {
 		if err := chk.CheckInvariant(); err != nil {
 			return fmt.Errorf("vault %d: %w", c.id, err)
+		}
+	}
+	// The per-bank work counters must mirror the queues exactly; a skew
+	// would make startJob skip queued work forever.
+	for b := range c.banks {
+		nr, nw, ns, nf := 0, 0, 0, 0
+		for i := range c.readQ {
+			if c.readQ[i].req.Bank == b {
+				nr++
+			}
+		}
+		for i := range c.writeQ {
+			if c.writeQ[i].req.Bank == b {
+				nw++
+			}
+		}
+		for _, id := range c.storeQ {
+			if id.Bank == b {
+				ns++
+			}
+		}
+		for _, f := range c.fetchQ {
+			if f.Bank == b {
+				nf++
+			}
+		}
+		if nr != c.readCount[b] || nw != c.writeCount[b] || ns != c.storeCount[b] || nf != c.fetchCount[b] {
+			return fmt.Errorf("vault %d bank %d: work counts (r=%d w=%d s=%d f=%d) disagree with queues (r=%d w=%d s=%d f=%d)",
+				c.id, b, c.readCount[b], c.writeCount[b], c.storeCount[b], c.fetchCount[b], nr, nw, ns, nf)
 		}
 	}
 	return nil
