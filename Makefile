@@ -11,7 +11,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build vet test race orchestration lint lint-tools fuzz-smoke fault-smoke verify bench bench-json bench-check figures clean
+.PHONY: build vet test race orchestration observability lint lint-tools fuzz-smoke fault-smoke verify bench bench-json bench-check figures clean
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,13 @@ race:
 orchestration:
 	$(GO) vet ./internal/exp/... ./internal/harness/... .
 	$(GO) test -race ./internal/exp/... ./internal/harness/... .
+
+# The observability layer crosses goroutines in exactly one place (the
+# SSE stream server) and the campaign runner snapshots metrics from the
+# scheduler goroutine; race-test both packages explicitly so a data race
+# there cannot hide behind a cached ./... run.
+observability:
+	$(GO) test -race -count=1 ./internal/obs/... ./internal/exp/...
 
 # campslint enforces the determinism/concurrency invariants (see
 # docs/LINTING.md); staticcheck and govulncheck run when installed
@@ -69,7 +76,7 @@ fault-smoke:
 		-faults 'linkcrc=1e-3,stall=1e-4,poison=2e-3,bankfail=100us,bankfor=2us' \
 		-check -timeout 10s >/dev/null
 
-verify: build vet race orchestration lint fault-smoke
+verify: build vet race orchestration observability lint fault-smoke
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

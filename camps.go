@@ -218,6 +218,11 @@ type Results struct {
 	// (nil on fault-free runs, so fault-free JSON output is unchanged).
 	Faults *fault.Counts `json:",omitempty"`
 
+	// Attribution is the per-cause latency breakdown and prefetch efficacy
+	// ledger, filled only when the run's Obs suite had attribution enabled
+	// (nil otherwise, so existing JSON output is unchanged).
+	Attribution *obs.AttributionSummary `json:",omitempty"`
+
 	// Bookkeeping.
 	ElapsedSim sim.Time
 	// EventsFired counts discrete events the engine executed for the run —
@@ -362,6 +367,16 @@ func RunContext(ctx context.Context, rc RunConfig) (Results, error) {
 	// outstanding fetches.
 	mshrs := cache.NewMSHRFile(eng, cubeMemory{cube: cube}, rc.System.L3.MSHRs)
 	var mem cpu.Memory = mshrs
+	if rc.Obs.AttributionEnabled() {
+		// Per-request attribution spans: opened at the MSHR, charged along
+		// the link/crossbar/vault path, retired when data returns. The
+		// ledger classifies every prefetch's fate inside the vaults.
+		mshrs.AttachSpans(rc.Obs.Spans)
+		cube.AttachAttribution(rc.Obs.Spans, rc.Obs.Ledger)
+		if chk != nil {
+			chk.Register(sim.Invariant{Name: "span-attribution", Check: rc.Obs.Spans.CheckInvariant})
+		}
+	}
 
 	// Functional cache warmup: consume WarmupRefs records per core through
 	// the hierarchy with no timing, discarding memory traffic.
@@ -522,6 +537,9 @@ func RunContext(ctx context.Context, rc RunConfig) (Results, error) {
 	res.Energy = rc.Energy.Estimate(vs.BankOps, vs.BufferHits.Value(), linkBytes, linkAwake, eng.Now())
 
 	if rc.Obs != nil {
+		// Attribution summary after Flush so the ledger covers rows still
+		// resident at end of run.
+		res.Attribution = rc.Obs.Attribution()
 		// The final snapshot lands after Flush, so it includes end-of-run
 		// eviction/writeback accounting the epoch snapshots cannot see.
 		rc.Obs.Snap("final", int64(eng.Now()))

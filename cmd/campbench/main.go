@@ -25,6 +25,7 @@ import (
 
 	"camps/internal/cliutil"
 	"camps/internal/harness"
+	"camps/internal/obs"
 	"camps/internal/plot"
 	"camps/internal/report"
 	"camps/internal/stats"
@@ -57,6 +58,7 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "concurrent simulations (0 = NumCPU)")
 		quiet      = flag.Bool("quiet", false, "suppress progress lines")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and runtime metrics on this address (e.g. localhost:6060)")
+		serveAddr  = flag.String("serve-metrics", "", "stream one snapshot per finished grid cell as server-sent events on this address")
 		version    = flag.Bool("version", false, "print build information and exit")
 
 		bench         = flag.Bool("bench", false, "measure simulator throughput and emit a BENCH_<date>.json instead of figures")
@@ -95,10 +97,30 @@ func main() {
 		MeasureInstr: *instr,
 		Parallelism:  *parallel,
 	}
-	if !*quiet {
+	var stream *obs.StreamServer
+	if *serveAddr != "" {
+		stream, _ = obs.StartStream(*serveAddr, log.Printf)
+	}
+	if !*quiet || stream != nil {
+		progress := !*quiet
 		opts.Progress = func(cr harness.CellResult) {
-			fmt.Fprintf(os.Stderr, "done %-4s %-9v ipc=%.4f amat=%.1fns acc=%.2f\n",
-				cr.Mix, cr.Scheme, cr.Results.GeoMeanIPC, cr.Results.AMATps/1000, cr.Results.LineAccuracy)
+			if progress {
+				fmt.Fprintf(os.Stderr, "done %-4s %-9v ipc=%.4f amat=%.1fns acc=%.2f\n",
+					cr.Mix, cr.Scheme, cr.Results.GeoMeanIPC, cr.Results.AMATps/1000, cr.Results.LineAccuracy)
+			}
+			// Each finished grid cell becomes one synthetic snapshot on the
+			// stream: headline results keyed like the simulator's own
+			// metrics, tagged mix/scheme so dashboards can pivot on both.
+			stream.Publish(obs.Snapshot{
+				AtPs: int64(cr.Results.ElapsedSim),
+				Tag:  fmt.Sprintf("%s/%v", cr.Mix, cr.Scheme),
+				Gauges: map[string]float64{
+					"bench.geomean_ipc":   cr.Results.GeoMeanIPC,
+					"bench.amat_ps":       cr.Results.AMATps,
+					"bench.line_accuracy": cr.Results.LineAccuracy,
+					"bench.conflict_rate": cr.Results.RowConflictRate,
+				},
+			})
 		}
 	}
 

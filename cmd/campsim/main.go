@@ -17,6 +17,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -50,6 +51,9 @@ func main() {
 		traceBuf   = flag.Int("trace-buf", obs.DefaultTraceCap, "event ring-buffer capacity (oldest events overwritten)")
 		epochCyc   = flag.Int64("epoch", 0, "CPU cycles between metric snapshots (0 = default 5us of simulated time)")
 		epochTable = flag.Bool("epoch-table", false, "print the per-epoch conflict/prefetch table")
+		attr       = flag.Bool("attr", false, "print the request-latency attribution and prefetch-efficacy tables")
+		attrOut    = flag.String("attr-out", "", "write the attribution summary as JSON to this file (implies attribution)")
+		serveAddr  = flag.String("serve-metrics", "", "stream epoch metric snapshots as server-sent events on this address (e.g. localhost:6061)")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none); the simulation halts within one epoch of expiry")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and runtime metrics on this address (e.g. localhost:6060)")
 		faultSpec  = flag.String("faults", "", "deterministic fault-injection spec; "+camps.FaultGrammar())
@@ -105,11 +109,19 @@ func main() {
 		benchNames = names
 	}
 	var suite *obs.Suite
-	if *metricsOut != "" || *traceOut != "" || *epochTable {
+	if *metricsOut != "" || *traceOut != "" || *epochTable || *attr || *attrOut != "" || *serveAddr != "" {
 		suite = obs.NewSuite(*traceBuf)
 		rc.Obs = suite
 		if *epochCyc > 0 {
 			rc.EpochInterval = sys.CPUClock().Cycles(*epochCyc)
+		}
+		if *attr || *attrOut != "" {
+			suite.EnableAttribution(s.String())
+		}
+		if *serveAddr != "" {
+			if srv, ok := obs.StartStream(*serveAddr, log.Printf); ok {
+				suite.OnSnapshot = srv.Publish
+			}
 		}
 	}
 
@@ -128,6 +140,13 @@ func main() {
 		log.Fatal(err)
 	}
 	writeTelemetry(suite, *metricsOut, *traceOut)
+	if suite != nil && suite.Tracer.Dropped() > 0 {
+		log.Printf("warning: event ring overwrote %d trace events; raise -trace-buf for full coverage",
+			suite.Tracer.Dropped())
+	}
+	if *attrOut != "" {
+		writeAttribution(*attrOut, res)
+	}
 	if *epochTable {
 		t := report.Timeseries(suite.Snapshots(), []string{
 			"vault.row_conflicts", "vault.row_hits", "vault.buffer_hits",
@@ -176,6 +195,12 @@ func main() {
 		fmt.Fprintf(w, "\n%s", fr)
 	}
 
+	if *attr {
+		if ar := report.Attribution(res.Attribution); ar != "" {
+			fmt.Fprintf(w, "\n%s", ar)
+		}
+	}
+
 	if *vaults {
 		fmt.Fprintln(w, "\nper-vault load:")
 		fmt.Fprintf(w, "  %5s %10s %10s %10s %10s %10s\n",
@@ -211,6 +236,24 @@ func main() {
 		fmt.Fprintf(w, "  %-10s %10.4f\n", part.name, part.pj/1e9)
 	}
 	fmt.Fprintf(w, "  %-10s %10.4f\n", "total", e.Total()/1e9)
+}
+
+// writeAttribution exports the run's attribution summary (per-cause
+// latency breakdown, prefetch efficacy ledger, per-vault conflict heat)
+// as indented JSON, atomically like the other telemetry exports.
+func writeAttribution(path string, res camps.Results) {
+	if res.Attribution == nil {
+		log.Printf("-attr-out: run produced no attribution summary")
+		return
+	}
+	data, err := json.MarshalIndent(res.Attribution, "", "  ")
+	if err != nil {
+		log.Fatalf("attribution export: %v", err)
+	}
+	if err := exp.AtomicWriteFile(path, append(data, '\n'), 0o644); err != nil {
+		log.Fatalf("write %s: %v", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote attribution summary to %s\n", path)
 }
 
 // openTraces opens the comma-separated trace paths as per-core readers.

@@ -32,7 +32,7 @@ type MSHRFile struct {
 	table    []mshrEntry
 	index    map[uint64]int32
 	free     []int32
-	pool     [][]func(at sim.Time)
+	pool     [][]waiter
 	overflow []mshrReq
 
 	coalesced stats.Counter
@@ -40,18 +40,29 @@ type MSHRFile struct {
 	issued    stats.Counter
 	peak      int
 
-	tr *obs.Tracer // nil unless Instrument was called
+	tr    *obs.Tracer  // nil unless Instrument was called
+	spans *obs.SpanSet // nil unless AttachSpans was called
 }
 
 type mshrEntry struct {
 	addr    uint64
-	waiters []func(at sim.Time)
+	waiters []waiter
 	fire    func(at sim.Time) // completion callback bound to this slot
+}
+
+// waiter is one requester riding an outstanding line fetch. The primary
+// miss's span travels with the backend request (staged through the span
+// set), so its waiter carries the zero ref; secondary misses keep their
+// spans here and retire them as queue time when the fetch returns.
+type waiter struct {
+	done func(at sim.Time)
+	span obs.SpanRef
 }
 
 type mshrReq struct {
 	addr uint64
 	done func(at sim.Time)
+	span obs.SpanRef
 }
 
 // NewMSHRFile wraps backend with an entries-deep MSHR file.
@@ -90,12 +101,18 @@ func (m *MSHRFile) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	reg.GaugeFunc("mshr.peak", func() float64 { return float64(m.peak) })
 }
 
+// AttachSpans makes every demand read entering the MSHR file open an
+// attribution span that follows the request down the memory hierarchy.
+// spans may be nil (attribution off).
+func (m *MSHRFile) AttachSpans(spans *obs.SpanSet) { m.spans = spans }
+
 // ReadLine implements Backend with coalescing and entry bounding.
 func (m *MSHRFile) ReadLine(addr uint64, done func(at sim.Time)) {
+	ref := m.spans.Begin(int64(m.eng.Now()))
 	if slot, ok := m.index[addr]; ok {
 		// Secondary miss: ride the outstanding fetch.
 		e := &m.table[slot]
-		e.waiters = append(e.waiters, done)
+		e.waiters = append(e.waiters, waiter{done: done, span: ref})
 		m.coalesced.Inc()
 		m.tr.Emit(obs.Event{At: int64(m.eng.Now()), Type: obs.EvMSHRCoalesce,
 			Vault: -1, Row: int64(addr), Arg: int64(len(m.index))})
@@ -103,36 +120,49 @@ func (m *MSHRFile) ReadLine(addr uint64, done func(at sim.Time)) {
 	}
 	if len(m.index) >= m.entries {
 		m.stalls.Inc()
-		m.overflow = append(m.overflow, mshrReq{addr: addr, done: done})
+		m.overflow = append(m.overflow, mshrReq{addr: addr, done: done, span: ref})
 		m.tr.Emit(obs.Event{At: int64(m.eng.Now()), Type: obs.EvMSHRStall,
 			Vault: -1, Row: int64(addr), Arg: int64(len(m.overflow))})
 		return
 	}
-	m.allocate(addr, done)
+	m.allocate(addr, done, ref)
 }
 
 // WriteLine passes writebacks straight through (posted writes occupy no
 // MSHR in this model; they carry their own data).
 func (m *MSHRFile) WriteLine(addr uint64) { m.backend.WriteLine(addr) }
 
-func (m *MSHRFile) allocate(addr uint64, done func(at sim.Time)) {
+func (m *MSHRFile) allocate(addr uint64, done func(at sim.Time), ref obs.SpanRef) {
 	slot := m.free[len(m.free)-1]
 	m.free = m.free[:len(m.free)-1]
 	e := &m.table[slot]
 	e.addr = addr
-	var ws []func(at sim.Time)
+	var ws []waiter
 	if n := len(m.pool); n > 0 {
 		ws = m.pool[n-1]
 		m.pool[n-1] = nil
 		m.pool = m.pool[:n-1]
 	}
-	e.waiters = append(ws, done)
+	// The primary's span rides the backend request, not the waiter list:
+	// stage it for the synchronous handoff so the cube can claim it
+	// inside ReadLine. Its waiter carries the zero ref.
+	e.waiters = append(ws, waiter{done: done})
 	m.index[addr] = slot
 	if len(m.index) > m.peak {
 		m.peak = len(m.index)
 	}
 	m.issued.Inc()
+	m.spans.Stage(ref)
 	m.backend.ReadLine(addr, e.fire)
+	if leftover := m.spans.Unstage(); leftover.Valid() {
+		// Span-unaware backend (tests): fall back to retiring the
+		// primary's span alongside the waiters so nothing leaks.
+		if s, ok := m.index[addr]; ok && s == slot {
+			m.table[slot].waiters[0].span = leftover
+		} else { // the backend completed synchronously
+			m.spans.Retire(leftover, obs.CauseQueue, int64(m.eng.Now()))
+		}
+	}
 }
 
 // complete fires when slot's line fetch returns. The slot is vacated
@@ -146,11 +176,14 @@ func (m *MSHRFile) complete(slot int32, at sim.Time) {
 	delete(m.index, e.addr)
 	m.free = append(m.free, slot)
 	for _, w := range ws {
-		w(at)
+		// Secondary misses spent their whole life waiting behind the
+		// primary fetch; their spans close here as queue time.
+		m.spans.Retire(w.span, obs.CauseQueue, int64(at))
+		w.done(at)
 	}
 	m.drainOverflow()
 	for i := range ws {
-		ws[i] = nil // drop callback refs before the slice is recycled
+		ws[i] = waiter{} // drop callback refs before the slice is recycled
 	}
 	m.pool = append(m.pool, ws[:0])
 }
@@ -163,12 +196,15 @@ func (m *MSHRFile) drainOverflow() {
 	for _, req := range m.overflow {
 		if slot, ok := m.index[req.addr]; ok {
 			e := &m.table[slot]
-			e.waiters = append(e.waiters, req.done)
+			e.waiters = append(e.waiters, waiter{done: req.done, span: req.span})
 			m.coalesced.Inc()
 			continue
 		}
 		if len(m.index) < m.entries {
-			m.allocate(req.addr, req.done)
+			// Time stalled in the overflow queue is queue time; the rest
+			// of the journey accrues downstream.
+			m.spans.AdvanceTo(req.span, obs.CauseQueue, int64(m.eng.Now()))
+			m.allocate(req.addr, req.done, req.span)
 			continue
 		}
 		kept = append(kept, req)

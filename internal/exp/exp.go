@@ -449,17 +449,17 @@ func defaultRunCell(ctx context.Context, c Cell, o *Options) (camps.Results, err
 // CounterFuncs take the scheduler mutex, so snapshots are safe at any
 // time; the latency histogram is only safe to read after Run returns.
 func instrument(reg *obs.Registry, st *Stats, mu *sync.Mutex) {
-	counter := func(name string, v *uint64) {
-		reg.CounterFunc(name, func() uint64 {
+	locked := func(v *uint64) func() uint64 {
+		return func() uint64 {
 			mu.Lock()
 			defer mu.Unlock()
 			return *v
-		})
+		}
 	}
-	counter("exp.cells_started", &st.Started)
-	counter("exp.cells_completed", &st.Completed)
-	counter("exp.cells_retried", &st.Retried)
-	counter("exp.cells_cancelled", &st.Cancelled)
-	counter("exp.cells_failed", &st.Failed)
-	counter("exp.cells_resumed", &st.Resumed)
+	reg.CounterFunc("exp.cells_started", locked(&st.Started))
+	reg.CounterFunc("exp.cells_completed", locked(&st.Completed))
+	reg.CounterFunc("exp.cells_retried", locked(&st.Retried))
+	reg.CounterFunc("exp.cells_cancelled", locked(&st.Cancelled))
+	reg.CounterFunc("exp.cells_failed", locked(&st.Failed))
+	reg.CounterFunc("exp.cells_resumed", locked(&st.Resumed))
 }

@@ -49,6 +49,12 @@ type Cube struct {
 	// injector): per-vault ingress-stall sites. All site methods are
 	// nil-safe, so a cube without faults carries no extra state.
 	vsites []*fault.VaultSite
+
+	// Attribution (nil unless AttachAttribution was called): the cube
+	// claims each read's staged span from the MSHR layer, charges the
+	// request path (link, crossbar, injected stalls) and retires the span
+	// when the response reaches the processor side.
+	spans *obs.SpanSet
 }
 
 // NewCube builds the cube with one prefetch scheme across all vaults.
@@ -113,6 +119,18 @@ func (c *Cube) ingress(v int, at sim.Time, n int) sim.Time {
 	end := start + sim.Time(int64(n)*1_000_000_000_000/c.portBps)
 	c.portFree[v] = end
 	return end
+}
+
+// AttachAttribution threads the attribution layer through the memory
+// system: the cube charges link/crossbar segments and retires spans,
+// every vault charges its queue/conflict/service segments, and the
+// prefetch buffers classify evictions into the ledger. Either argument
+// may be nil. Call before the simulation starts.
+func (c *Cube) AttachAttribution(spans *obs.SpanSet, ledger *obs.PrefetchLedger) {
+	c.spans = spans
+	for _, v := range c.vaults {
+		v.AttachAttribution(spans, ledger)
+	}
 }
 
 // SetFaults threads a fault injector through the whole memory path: CRC
@@ -183,8 +201,9 @@ func (c *Cube) Access(addr Address, write bool, done func(at sim.Time)) {
 
 	// External controller processing, then serialization over the link,
 	// then the crossbar hop (and optional vault ingress port).
-	atCube := link.SendRequest(now+c.ctrlLat, reqBytes)
-	atVault := c.ingress(loc.Vault, atCube, reqBytes)
+	atCube, reqRetry := link.SendRequestTimed(now+c.ctrlLat, reqBytes)
+	preStall := c.ingress(loc.Vault, atCube, reqBytes)
+	atVault := preStall
 	if c.vsites != nil {
 		// Injected TSV/arbitration stall: the vault sees the request late.
 		atVault += c.vsites[loc.Vault].StallDelay(atVault)
@@ -199,6 +218,18 @@ func (c *Cube) Access(addr Address, write bool, done func(at sim.Time)) {
 	if !write {
 		c.inflight++
 		a.req.Done = a.vdoneFn
+		// Claim the span the MSHR staged for this read and charge the
+		// request path: CRC retransmissions first (folded into the link
+		// delivery), then controller+link up to delivery at the cube,
+		// crossbar/ingress, and any injected ingress stall.
+		if ref := c.spans.Unstage(); ref.Valid() {
+			c.spans.Advance(ref, obs.CauseFaultRetry, int64(reqRetry))
+			c.spans.AdvanceTo(ref, obs.CauseLink, int64(atCube))
+			c.spans.AdvanceTo(ref, obs.CauseXbar, int64(preStall))
+			c.spans.AdvanceTo(ref, obs.CauseFaultRetry, int64(atVault))
+			c.spans.SetVault(ref, loc.Vault)
+			a.req.Span = ref
+		}
 	}
 	c.eng.At(atVault, a.submitFn)
 
@@ -264,9 +295,15 @@ func (a *access) submit() {
 // issue new accesses).
 func (a *access) readDone(ready sim.Time) {
 	c, link, start, done := a.c, a.link, a.start, a.done
+	ref := a.req.Span
 	c.releaseAccess(a)
 	// Response: crossbar back, response packet with data.
-	back := link.SendResponse(ready+c.switchLat, c.headerB+c.lineBytes)
+	back, respRetry := link.SendResponseTimed(ready+c.switchLat, c.headerB+c.lineBytes)
+	// The vault advanced the span to `ready`; the crossbar hop, any CRC
+	// retransmissions, and the link transfer close it out at `back`.
+	c.spans.AdvanceTo(ref, obs.CauseXbar, int64(ready+c.switchLat))
+	c.spans.Advance(ref, obs.CauseFaultRetry, int64(respRetry))
+	c.spans.Retire(ref, obs.CauseLink, int64(back))
 	c.inflight--
 	c.readAMAT.Observe(float64(back - start))
 	c.readHist.Observe(float64(back - start))
@@ -343,6 +380,8 @@ func (c *Cube) BufferStats() pfbuffer.Stats {
 		agg.LinesUseful += s.LinesUseful
 		agg.DirtyEvicts += s.DirtyEvicts
 		agg.FullRowEvicts += s.FullRowEvicts
+		agg.RowsPoisoned += s.RowsPoisoned
+		agg.LinesPoisoned += s.LinesPoisoned
 		agg.FirstUseDelay.Merge(s.FirstUseDelay)
 	}
 	return agg

@@ -60,8 +60,10 @@ func (p *pipe) serTime(n int) sim.Time {
 }
 
 // send schedules a packet of n bytes entering the pipe at time at and
-// returns its delivery time at the far end.
-func (p *pipe) send(at sim.Time, n int) sim.Time {
+// returns its delivery time at the far end plus the portion of the
+// serialization spent on CRC retransmissions (zero on a clean transfer;
+// attribution charges it to fault_retry rather than link time).
+func (p *pipe) send(at sim.Time, n int) (delivery, retry sim.Time) {
 	start := at
 	if p.nextFree > start {
 		start = p.nextFree
@@ -77,14 +79,15 @@ func (p *pipe) send(at sim.Time, n int) sim.Time {
 	// retry turnaround, occupying the lane group for the whole exchange.
 	// Packets are FIFO per pipe, so the draw order is deterministic.
 	if r := p.faults.PacketRetries(start); r > 0 {
-		ser += sim.Time(r) * (p.retryTurn + p.serTime(n))
+		retry = sim.Time(r) * (p.retryTurn + p.serTime(n))
+		ser += retry
 	}
 	p.nextFree = start + ser
 	p.packets.Inc()
 	p.bytes.Add(uint64(n))
 	p.busy += ser
 	p.tr.Emit(obs.Event{At: int64(start), Type: obs.EvLinkFlit, Vault: p.linkID, Bank: p.dir, Arg: int64(n)})
-	return start + ser + p.prop
+	return start + ser + p.prop, retry
 }
 
 // Link is one full-duplex serial link: a request pipe toward the cube and
@@ -116,11 +119,29 @@ func (l *Link) SetFaults(inj *fault.Injector, id int) {
 
 // SendRequest transmits a request packet of n bytes at time at; the result
 // is its arrival time at the cube.
-func (l *Link) SendRequest(at sim.Time, n int) sim.Time { return l.req.send(at, n) }
+func (l *Link) SendRequest(at sim.Time, n int) sim.Time {
+	d, _ := l.req.send(at, n)
+	return d
+}
 
 // SendResponse transmits a response packet of n bytes at time at; the
 // result is its arrival time at the processor-side controller.
-func (l *Link) SendResponse(at sim.Time, n int) sim.Time { return l.resp.send(at, n) }
+func (l *Link) SendResponse(at sim.Time, n int) sim.Time {
+	d, _ := l.resp.send(at, n)
+	return d
+}
+
+// SendRequestTimed is SendRequest plus the retransmission time folded
+// into the delivery (for latency attribution).
+func (l *Link) SendRequestTimed(at sim.Time, n int) (delivery, retry sim.Time) {
+	return l.req.send(at, n)
+}
+
+// SendResponseTimed is SendResponse plus the retransmission time folded
+// into the delivery (for latency attribution).
+func (l *Link) SendResponseTimed(at sim.Time, n int) (delivery, retry sim.Time) {
+	return l.resp.send(at, n)
+}
 
 // LinkStats summarizes one link's traffic.
 type LinkStats struct {

@@ -17,7 +17,7 @@ const obsPkgPath = "camps/internal/obs"
 // via CounterFunc/GaugeFunc.
 var StatsReg = &Analyzer{
 	Name:  "statsreg",
-	Doc:   "flag obs counters/histograms created but never registered",
+	Doc:   "flag obs metrics never registered and registry names that are not compile-time constants",
 	Allow: "unregistered",
 	Run:   runStatsReg,
 }
@@ -27,6 +27,7 @@ func runStatsReg(pass *Pass) {
 		return // the registry implementation constructs metrics by design
 	}
 	for _, f := range pass.Files {
+		checkMetricNames(pass, f)
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
@@ -35,6 +36,46 @@ func runStatsReg(pass *Pass) {
 			checkFuncMetrics(pass, fd)
 		}
 	}
+}
+
+// registryNameMethods are the Registry lookups whose first argument is a
+// metric name.
+var registryNameMethods = map[string]bool{
+	"Counter":     true,
+	"Gauge":       true,
+	"Histogram":   true,
+	"CounterFunc": true,
+	"GaugeFunc":   true,
+}
+
+// checkMetricNames flags Registry lookups whose metric name is not a
+// compile-time constant. Dynamic names (fmt.Sprintf, variables, loop
+// concatenations) make the metric namespace unenumerable — dashboards,
+// goldens, and this very lint suite can no longer know the full metric
+// set at build time — and additive registration silently merges any
+// collision. Every span.*/pf.*/vault.* name in the tree is a literal or
+// a named constant; this keeps it that way.
+func checkMetricNames(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn := funcOf(pass.Info, call.Fun)
+		if fn == nil || !registryNameMethods[fn.Name()] {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil || !namedType(sig.Recv().Type(), obsPkgPath, "Registry") {
+			return true
+		}
+		if tv, ok := pass.Info.Types[call.Args[0]]; !ok || tv.Value == nil {
+			pass.Reportf(call.Args[0].Pos(),
+				"metric name passed to Registry.%s is not a compile-time constant: use a string literal or named constant so the metric namespace stays enumerable (or //lint:allow-unregistered <reason>)",
+				fn.Name())
+		}
+		return true
+	})
 }
 
 // creation is one direct metric construction assigned to a local.

@@ -4,7 +4,11 @@
 // conditional-instrumentation idiom are fine.
 package statsreg
 
-import "camps/internal/obs"
+import (
+	"fmt"
+
+	"camps/internal/obs"
+)
 
 func BadLocalHistogram() {
 	h := obs.NewHistogram() // want `obs.Histogram created but never registered`
@@ -66,4 +70,39 @@ func BadReassignedCreation() {
 func AllowedDirective() {
 	h := obs.NewHistogram() //lint:allow-unregistered scratch accumulator, merged into the suite by hand
 	h.Observe(1)
+}
+
+// --- metric-name constancy ---
+// Registry lookups must name their metric with a compile-time constant;
+// computed names make the metric namespace unenumerable.
+
+const goodName = "vault.row_hits"
+
+func GoodLiteralNames(r *obs.Registry) {
+	r.Counter("vault.hits").Inc()
+	r.Gauge("vault.queue").Set(1)
+	r.Histogram("vault.latency_ps").Observe(1)
+	r.CounterFunc("vault.misses", func() uint64 { return 0 })
+	r.GaugeFunc("vault.depth", func() float64 { return 0 })
+}
+
+func GoodNamedConstant(r *obs.Registry) {
+	r.Counter(goodName).Inc()
+	r.Counter(goodName + "_total").Inc() // constant concatenation is still constant
+}
+
+func BadSprintfName(r *obs.Registry, vault int) {
+	r.Counter(fmt.Sprintf("vault%d.hits", vault)).Inc() // want `metric name passed to Registry.Counter is not a compile-time constant`
+}
+
+func BadVariableName(r *obs.Registry, name string) {
+	r.CounterFunc(name, func() uint64 { return 0 }) // want `metric name passed to Registry.CounterFunc is not a compile-time constant`
+}
+
+func BadConcatenatedName(r *obs.Registry, suffix string) {
+	r.Histogram("span." + suffix).Observe(1) // want `metric name passed to Registry.Histogram is not a compile-time constant`
+}
+
+func AllowedDynamicName(r *obs.Registry, name string) {
+	r.Gauge(name).Set(1) //lint:allow-unregistered name validated against a static allowlist upstream
 }

@@ -228,12 +228,24 @@ func WriteSnapshotsJSONL(w io.Writer, snaps []Snapshot) error {
 }
 
 // Suite bundles the per-run observability state: the registry every
-// subsystem publishes into, the event tracer, and the epoch snapshots
-// accumulated over the run. A Suite belongs to exactly one simulation.
+// subsystem publishes into, the event tracer, the epoch snapshots
+// accumulated over the run, and — when EnableAttribution has been
+// called — the request-span set and prefetch ledger. A Suite belongs to
+// exactly one simulation.
 type Suite struct {
 	Registry *Registry
 	Tracer   *Tracer
-	snaps    []Snapshot
+
+	// Spans and Ledger are nil until EnableAttribution: the request path
+	// checks only a nil receiver, so attribution-off runs stay free.
+	Spans  *SpanSet
+	Ledger *PrefetchLedger
+
+	// OnSnapshot, when set, observes every snapshot Snap records — the
+	// hook live streaming (StreamServer.Publish) attaches to.
+	OnSnapshot func(Snapshot)
+
+	snaps []Snapshot
 }
 
 // NewSuite returns a suite whose tracer holds traceCap events
@@ -242,13 +254,49 @@ func NewSuite(traceCap int) *Suite {
 	if traceCap <= 0 {
 		traceCap = DefaultTraceCap
 	}
-	return &Suite{Registry: NewRegistry(), Tracer: NewTracer(traceCap)}
+	s := &Suite{Registry: NewRegistry(), Tracer: NewTracer(traceCap)}
+	s.Registry.CounterFunc(MetricTracerDropped, s.Tracer.Dropped)
+	return s
 }
 
-// Snap records one registry snapshot tagged tag at simulation time atPs.
+// EnableAttribution switches on per-request latency spans and the
+// prefetch efficacy ledger, registering their metrics. scheme labels
+// the ledger with the prefetch engine driving the run. Idempotent.
+func (s *Suite) EnableAttribution(scheme string) {
+	if s.Spans == nil {
+		s.Spans = NewSpanSet(0)
+		s.Spans.register(s.Registry, s.Tracer)
+	}
+	if s.Ledger == nil {
+		s.Ledger = NewPrefetchLedger(scheme)
+		s.Ledger.register(s.Registry)
+	}
+}
+
+// AttributionEnabled reports whether EnableAttribution has been called.
+func (s *Suite) AttributionEnabled() bool {
+	return s != nil && s.Spans != nil
+}
+
+// Attribution folds the span set and ledger into an exportable summary,
+// or nil when attribution is off.
+func (s *Suite) Attribution() *AttributionSummary {
+	if s == nil || s.Spans == nil {
+		return nil
+	}
+	sum := s.Spans.Summary()
+	sum.Ledger = s.Ledger.Summary()
+	return sum
+}
+
+// Snap records one registry snapshot tagged tag at simulation time atPs
+// and forwards it to the OnSnapshot hook when one is attached.
 func (s *Suite) Snap(tag string, atPs int64) Snapshot {
 	snap := s.Registry.Snapshot(tag, atPs)
 	s.snaps = append(s.snaps, snap)
+	if s.OnSnapshot != nil {
+		s.OnSnapshot(snap)
+	}
 	return snap
 }
 

@@ -149,3 +149,20 @@ func TestSuite(t *testing.T) {
 		t.Errorf("WriteMetrics wrote %d lines, want 2", n)
 	}
 }
+
+// TestSuiteTracerDroppedCounter: every suite exposes the tracer's
+// overwrite count as a registry metric, so epoch snapshots reveal when
+// the ring was too small for the run.
+func TestSuiteTracerDroppedCounter(t *testing.T) {
+	s := NewSuite(2)
+	for i := 0; i < 5; i++ {
+		s.Tracer.Emit(Event{At: int64(i), Type: EvEpoch, Vault: -1})
+	}
+	snap := s.Registry.Snapshot("t", 0)
+	if got := snap.Counter(MetricTracerDropped); got != 3 {
+		t.Errorf("%s = %d, want 3 (5 emitted into a 2-slot ring)", MetricTracerDropped, got)
+	}
+	if got := s.Tracer.Dropped(); got != 3 {
+		t.Errorf("Tracer.Dropped = %d, want 3", got)
+	}
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// readSSEFrame consumes one complete SSE frame (through its blank-line
+// terminator) and returns the event name and data payload.
+func readSSEFrame(t *testing.T, br *bufio.Reader) (event, data string) {
+	t.Helper()
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading SSE frame: %v", err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			return event, data
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+}
+
+// TestStreamBacklogReplay: a subscriber attaching after frames were
+// published still receives the most recent ones, bounded by the backlog
+// cap.
+func TestStreamBacklogReplay(t *testing.T) {
+	s := NewStreamServer()
+	for i := 0; i < streamBacklogCap+10; i++ {
+		s.Publish(Snapshot{AtPs: int64(i), Tag: "epoch"})
+	}
+	if got := len(s.backlog); got != streamBacklogCap {
+		t.Fatalf("backlog holds %d frames, want %d", got, streamBacklogCap)
+	}
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q, want text/event-stream", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+	event, data := readSSEFrame(t, br)
+	if event != "epoch" {
+		t.Errorf("event = %q, want epoch", event)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(data), &snap); err != nil {
+		t.Fatalf("data not valid snapshot JSON: %v", err)
+	}
+	if snap.AtPs != 10 { // oldest surviving frame after the backlog trim
+		t.Errorf("first replayed AtPs = %d, want 10", snap.AtPs)
+	}
+}
+
+// TestStreamLivePublish: frames published while a subscriber is attached
+// arrive on its stream.
+func TestStreamLivePublish(t *testing.T) {
+	s := NewStreamServer()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// The handler registers the subscriber before its first flush; poll
+	// until it appears, then publish.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		n := len(s.subs)
+		s.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("subscriber never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Publish(Snapshot{AtPs: 42, Tag: "live"})
+
+	event, data := readSSEFrame(t, bufio.NewReader(resp.Body))
+	if event != "live" || !strings.Contains(data, `"at_ps":42`) {
+		t.Errorf("frame = %q / %q", event, data)
+	}
+}
+
+// TestStartStreamDegradesOnBoundPort: a port already in use disables
+// streaming with a warning instead of failing the run, mirroring
+// cliutil.StartPprof.
+func TestStartStreamDegradesOnBoundPort(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var msgs []string
+	logf := func(format string, args ...any) {
+		msgs = append(msgs, format)
+	}
+	s, ok := StartStream(ln.Addr().String(), logf)
+	if ok || s != nil {
+		t.Fatalf("StartStream on a bound port = (%v, %v), want (nil, false)", s, ok)
+	}
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "metrics stream disabled") {
+		t.Errorf("warning messages = %q", msgs)
+	}
+	s.Publish(Snapshot{}) // nil receiver: the caller needs no guard
+	if s.Addr() != "" {
+		t.Error("nil server reported an address")
+	}
+}
+
+// TestStartStreamServes: a successful start binds the address, serves
+// /metrics/stream, and replays published snapshots to clients.
+func TestStartStreamServes(t *testing.T) {
+	s, ok := StartStream("127.0.0.1:0", nil)
+	if !ok {
+		t.Fatal("StartStream failed on an ephemeral port")
+	}
+	s.Publish(Snapshot{AtPs: 7, Tag: "epoch"})
+
+	resp, err := http.Get("http://" + s.Addr() + "/metrics/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	event, data := readSSEFrame(t, bufio.NewReader(resp.Body))
+	if event != "epoch" || !strings.Contains(data, `"at_ps":7`) {
+		t.Errorf("frame = %q / %q", event, data)
+	}
+}

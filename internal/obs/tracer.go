@@ -40,6 +40,11 @@ const (
 	EvFaultVaultStall
 	EvFaultPoison
 	EvFaultBankFail
+	// Attribution span retirement (internal/obs span layer). At is the
+	// span's begin time, Arg its end-to-end latency in ps, Bank the
+	// dominant Cause, Row the retirement sequence number. Rendered as a
+	// Chrome duration event ("ph":"X").
+	EvSpan
 
 	evTypeCount
 )
@@ -62,6 +67,7 @@ var evNames = [evTypeCount]string{
 	EvFaultVaultStall: "fault-vault-stall",
 	EvFaultPoison:     "fault-poison",
 	EvFaultBankFail:   "fault-bank-fail",
+	EvSpan:            "span",
 }
 
 var evCats = [evTypeCount]string{
@@ -82,6 +88,7 @@ var evCats = [evTypeCount]string{
 	EvFaultVaultStall: "fault",
 	EvFaultPoison:     "fault",
 	EvFaultBankFail:   "fault",
+	EvSpan:            "span",
 }
 
 // String returns the kebab-case event name used in exports.
@@ -232,6 +239,7 @@ type chromeEvent struct {
 	TsUs  float64          `json:"ts"`
 	Pid   int              `json:"pid"`
 	Tid   int              `json:"tid"`
+	DurUs float64          `json:"dur,omitempty"`
 	Scope string           `json:"s,omitempty"`
 	Args  map[string]int64 `json:"args,omitempty"`
 }
@@ -245,7 +253,9 @@ type chromeTrace struct {
 // WriteChromeTrace writes the retained events as a Chrome trace_event
 // JSON document, loadable in chrome://tracing or https://ui.perfetto.dev.
 // Events appear as instant events ("ph":"i") on one timeline row per
-// vault (tid = vault id; -1 renders on row 0).
+// vault (tid = vault id; -1 renders on row 0). EvSpan events render as
+// complete duration events ("ph":"X") spanning the request's lifetime,
+// so attribution spans show up as bars rather than ticks.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	events := t.Events()
 	doc := chromeTrace{
@@ -257,7 +267,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		if tid < 0 {
 			tid = 0
 		}
-		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+		ce := chromeEvent{
 			Name:  ev.Type.String(),
 			Cat:   ev.Type.Category(),
 			Phase: "i",
@@ -270,7 +280,13 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 				"row":  ev.Row,
 				"arg":  ev.Arg,
 			},
-		})
+		}
+		if ev.Type == EvSpan {
+			ce.Phase = "X"
+			ce.DurUs = float64(ev.Arg) / 1e6
+			ce.Scope = ""
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ce)
 	}
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(&doc); err != nil {

@@ -63,6 +63,7 @@ type Eviction struct {
 	Dirty bool
 	Used  bool // at least one demand reference while resident
 	Util  int  // distinct lines referenced while resident
+	Late  bool // a demand for the row was already queued when it landed
 }
 
 // Stats aggregates buffer behaviour for the accuracy figures.
@@ -75,6 +76,13 @@ type Stats struct {
 	LinesUseful   uint64 // distinct lines referenced across inserted rows
 	DirtyEvicts   uint64
 	FullRowEvicts uint64 // evictions of fully consumed rows (CAMPS-MOD fast path)
+
+	// Fault-poisoned fetches discarded before insertion. They never
+	// became resident, so they appear in neither Inserts nor the
+	// accuracy ratios below — the bank work was spent, but charging them
+	// against line accuracy would misstate the prefetch policy's skill.
+	RowsPoisoned  uint64
+	LinesPoisoned uint64 // RowsPoisoned * linesPerRow
 
 	// FirstUseDelay measures prefetch timeliness (§2.3 of the paper): the
 	// time between a row's insertion and its first demand hit, in
@@ -92,7 +100,9 @@ func (s Stats) RowAccuracy() float64 {
 }
 
 // LineAccuracy returns the fraction of prefetched lines that were
-// referenced, given lines per row.
+// referenced, given lines per row. Poisoned fetches are excluded from
+// the denominator by construction: they are counted in LinesPoisoned,
+// never in Inserts.
 func (s Stats) LineAccuracy(linesPerRow int) float64 {
 	if s.Inserts == 0 || linesPerRow == 0 {
 		return 0
@@ -107,6 +117,7 @@ type entry struct {
 	touched  uint64 // bitmap of referenced lines (linesPerRow <= 64)
 	recency  int    // permutation rank among valid entries; MRU = nValid-1
 	used     bool
+	late     bool // a demand was already queued when the row landed
 	insertAt sim.Time
 }
 
@@ -119,6 +130,13 @@ type Buffer struct {
 	policy      Policy
 	nValid      int
 	stats       Stats
+
+	// Prefetch efficacy ledger (nil unless SetLedger was called): every
+	// eviction classifies its row's final outcome. The buffer owns this
+	// because Flush surfaces only dirty evictions to the controller —
+	// evict() is the one chokepoint that sees every row leave.
+	ledger      *obs.PrefetchLedger
+	ledgerVault int
 }
 
 // New returns an empty buffer with the given entry count, lines per row and
@@ -166,7 +184,32 @@ func (b *Buffer) Instrument(reg *obs.Registry) {
 	reg.CounterFunc("pfbuffer.lines_useful", func() uint64 { return b.stats.LinesUseful })
 	reg.CounterFunc("pfbuffer.dirty_evicts", func() uint64 { return b.stats.DirtyEvicts })
 	reg.CounterFunc("pfbuffer.full_row_evicts", func() uint64 { return b.stats.FullRowEvicts })
+	reg.CounterFunc("pfbuffer.rows_poisoned", func() uint64 { return b.stats.RowsPoisoned })
+	reg.CounterFunc("pfbuffer.lines_poisoned", func() uint64 { return b.stats.LinesPoisoned })
 	reg.GaugeFunc("pfbuffer.occupancy", func() float64 { return float64(b.nValid) })
+}
+
+// SetLedger attaches the prefetch efficacy ledger; evictions classify
+// their row's outcome into it, labeled with this buffer's vault id. A
+// nil ledger detaches classification.
+func (b *Buffer) SetLedger(lg *obs.PrefetchLedger, vault int) {
+	b.ledger = lg
+	b.ledgerVault = vault
+}
+
+// MarkLate flags a resident row as having lost the race to a queued
+// demand request: any use it sees is "late" in the efficacy ledger.
+func (b *Buffer) MarkLate(id RowID) {
+	if i := b.find(id); i >= 0 {
+		b.entries[i].late = true
+	}
+}
+
+// NotePoisoned accounts a fault-poisoned fetch that was discarded before
+// insertion (see Stats.RowsPoisoned).
+func (b *Buffer) NotePoisoned() {
+	b.stats.RowsPoisoned++
+	b.stats.LinesPoisoned += uint64(b.linesPerRow)
 }
 
 // Contains reports whether the row is resident, without touching any
@@ -322,7 +365,7 @@ func (b *Buffer) evict(i int) Eviction {
 	if !e.valid {
 		panic("pfbuffer: evicting invalid entry")
 	}
-	ev := Eviction{ID: e.id, Dirty: e.dirty, Used: e.used, Util: e.util()}
+	ev := Eviction{ID: e.id, Dirty: e.dirty, Used: e.used, Util: e.util(), Late: e.late}
 	old := e.recency
 	e.valid = false
 	for j := range b.entries {
@@ -334,6 +377,16 @@ func (b *Buffer) evict(i int) Eviction {
 	b.stats.Evictions++
 	if ev.Dirty {
 		b.stats.DirtyEvicts++
+	}
+	// Every resident row leaves through here (replacement, Drop, Flush),
+	// so this is where its final efficacy verdict is recorded.
+	switch {
+	case ev.Used && !ev.Late:
+		b.ledger.Record(b.ledgerVault, obs.UsefulTimely)
+	case ev.Used:
+		b.ledger.Record(b.ledgerVault, obs.UsefulLate)
+	default:
+		b.ledger.Record(b.ledgerVault, obs.EvictedUnused)
 	}
 	return ev
 }

@@ -1,0 +1,110 @@
+package pfbuffer
+
+import (
+	"testing"
+
+	"camps/internal/obs"
+)
+
+// TestPoisonedFetchesExcludedFromAccuracy is the regression test for the
+// poisoned-row accounting fix: a fault-poisoned fetch is discarded before
+// insertion, so it must not dilute RowAccuracy or LineAccuracy — it is
+// counted separately in RowsPoisoned/LinesPoisoned.
+func TestPoisonedFetchesExcludedFromAccuracy(t *testing.T) {
+	const lines = 16
+	b := New(4, lines, UtilRecency)
+	control := New(4, lines, UtilRecency)
+
+	feed := func(buf *Buffer) {
+		buf.Insert(RowID{Bank: 0, Row: 1}, 0, 0)
+		for l := 0; l < lines; l++ { // fully consumed row
+			buf.Lookup(RowID{Bank: 0, Row: 1}, l, false, 100)
+		}
+		buf.Insert(RowID{Bank: 0, Row: 2}, 0, 0) // never referenced
+		buf.Flush()
+	}
+	feed(b)
+	feed(control)
+	for i := 0; i < 3; i++ {
+		b.NotePoisoned()
+	}
+
+	got, want := b.Stats(), control.Stats()
+	if got.RowsPoisoned != 3 || got.LinesPoisoned != 3*lines {
+		t.Errorf("poison counters = %d rows / %d lines, want 3 / %d",
+			got.RowsPoisoned, got.LinesPoisoned, 3*lines)
+	}
+	if got.Inserts != want.Inserts {
+		t.Errorf("Inserts = %d, want %d (poisoned fetches must not count as inserts)",
+			got.Inserts, want.Inserts)
+	}
+	if ra, wra := got.RowAccuracy(), want.RowAccuracy(); ra != wra {
+		t.Errorf("RowAccuracy = %v, want %v (unchanged by poisoning)", ra, wra)
+	}
+	if la, wla := got.LineAccuracy(lines), want.LineAccuracy(lines); la != wla {
+		t.Errorf("LineAccuracy = %v, want %v (unchanged by poisoning)", la, wla)
+	}
+	if wra := want.RowAccuracy(); wra != 0.5 {
+		t.Fatalf("control RowAccuracy = %v, want 0.5 (test setup broken)", wra)
+	}
+}
+
+// TestEvictionLedgerClassification: every row leaving the buffer gets
+// exactly one efficacy verdict — timely use, late use, or pure pollution
+// — through replacement, Drop, and Flush alike.
+func TestEvictionLedgerClassification(t *testing.T) {
+	lg := obs.NewPrefetchLedger("TEST")
+	b := New(2, 4, LRU)
+	b.SetLedger(lg, 7)
+
+	// Row 1: used before any queued demand -> useful_timely (via Drop).
+	b.Insert(RowID{Row: 1}, 0, 0)
+	b.Lookup(RowID{Row: 1}, 0, false, 10)
+	b.Drop(RowID{Row: 1})
+
+	// Row 2: a demand was queued when it landed -> useful_late (via Drop).
+	b.Insert(RowID{Row: 2}, 0, 0)
+	b.MarkLate(RowID{Row: 2})
+	b.Lookup(RowID{Row: 2}, 1, false, 20)
+	b.Drop(RowID{Row: 2})
+
+	// Rows 3 and 4 fill the two-entry buffer unused; row 5 forces one
+	// replacement eviction and Flush drains the remaining two — three
+	// evicted_unused in total.
+	b.Insert(RowID{Row: 3}, 0, 0)
+	b.Insert(RowID{Row: 4}, 0, 0)
+	b.Insert(RowID{Row: 5}, 0, 0)
+	b.Flush()
+
+	if got := lg.Total(obs.UsefulTimely); got != 1 {
+		t.Errorf("useful_timely = %d, want 1", got)
+	}
+	if got := lg.Total(obs.UsefulLate); got != 1 {
+		t.Errorf("useful_late = %d, want 1", got)
+	}
+	if got := lg.Total(obs.EvictedUnused); got != 3 {
+		t.Errorf("evicted_unused = %d, want 3", got)
+	}
+	sum := lg.Summary()
+	if len(sum.Vaults) != 1 || sum.Vaults[0].Vault != 7 {
+		t.Fatalf("vault rows = %+v, want exactly vault 7", sum.Vaults)
+	}
+	if sum.Classified() != b.Stats().Evictions {
+		t.Errorf("classified %d outcomes but buffer evicted %d rows",
+			sum.Classified(), b.Stats().Evictions)
+	}
+}
+
+// TestMarkLateAbsentRow: marking a row that is not resident is a no-op.
+func TestMarkLateAbsentRow(t *testing.T) {
+	lg := obs.NewPrefetchLedger("TEST")
+	b := New(2, 4, LRU)
+	b.SetLedger(lg, 0)
+	b.MarkLate(RowID{Row: 9})
+	b.Insert(RowID{Row: 1}, 0, 0)
+	b.Lookup(RowID{Row: 1}, 0, false, 5)
+	b.Flush()
+	if got := lg.Total(obs.UsefulTimely); got != 1 {
+		t.Errorf("useful_timely = %d, want 1 (MarkLate on absent row leaked)", got)
+	}
+}

@@ -191,6 +191,63 @@ func Summary(g *harness.Grid) string {
 		(mod/base-1)*100, (mod/mmd-1)*100, f5.Rows()-1)
 }
 
+// Attribution renders an attribution summary as an aligned text block
+// for CLI output: the per-cause latency breakdown (each cause's total,
+// share of end-to-end latency, and mean per request), the prefetch
+// efficacy ledger, and the per-vault conflict heatmap. Returns "" for a
+// nil summary — callers print it unconditionally.
+func Attribution(sum *obs.AttributionSummary) string {
+	if sum == nil {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "latency attribution (%d spans retired, %d started):\n",
+		sum.SpansRetired, sum.SpansStarted)
+	fmt.Fprintf(&sb, "  %-15s %16s %8s %12s\n", "cause", "total ps", "share", "mean ps/req")
+	for _, cb := range sum.Causes {
+		if cb.TotalPs == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "  %-15s %16d %7.1f%% %12.0f\n",
+			cb.Cause, cb.TotalPs, cb.Share*100, cb.MeanPs)
+	}
+	fmt.Fprintf(&sb, "  %-15s %16d %7.1f%%\n", "end-to-end", sum.E2ETotalPs, 100.0)
+	if lg := sum.Ledger; lg != nil && lg.Classified() > 0 {
+		total := float64(lg.Classified())
+		fmt.Fprintf(&sb, "prefetch efficacy (%s, %d classified):\n", lg.Scheme, lg.Classified())
+		for _, row := range []struct {
+			name string
+			n    uint64
+		}{
+			{"useful (timely)", lg.UsefulTimely},
+			{"useful (late)", lg.UsefulLate},
+			{"evicted unused", lg.EvictedUnused},
+			{"conflict victim", lg.ConflictVictim},
+		} {
+			fmt.Fprintf(&sb, "  %-15s %16d %7.1f%%\n", row.name, row.n, float64(row.n)/total*100)
+		}
+	}
+	if len(sum.VaultConflictPs) > 0 {
+		var peak uint64
+		for _, v := range sum.VaultConflictPs {
+			if v > peak {
+				peak = v
+			}
+		}
+		if peak > 0 {
+			sb.WriteString("bank-conflict heatmap (ps lost per vault):\n")
+			for v, ps := range sum.VaultConflictPs {
+				bar := 0
+				if peak > 0 {
+					bar = int(ps * 40 / peak)
+				}
+				fmt.Fprintf(&sb, "  v%-3d %14d %s\n", v, ps, strings.Repeat("#", bar))
+			}
+		}
+	}
+	return sb.String()
+}
+
 // FaultReport renders one run's injected-fault counters as an aligned
 // text block for CLI output, or "" for a fault-free run — callers print
 // it unconditionally.

@@ -32,6 +32,11 @@ type Request struct {
 	// Done is invoked exactly once with the time the request's data is
 	// ready at the vault (writes complete on acceptance). May be nil.
 	Done func(at sim.Time)
+	// Span is the request's attribution span (zero when attribution is
+	// off or for writes). The controller charges queue, refresh-stall,
+	// blackout, bank-conflict and service segments to it; the cube
+	// retires it when the response reaches the processor side.
+	Span obs.SpanRef
 }
 
 type pending struct {
@@ -107,7 +112,19 @@ type Controller struct {
 	// prefetch-buffer fill poisoning and per-bank blackout windows. All
 	// site methods are nil-safe.
 	faults *fault.VaultSite
+
+	// Attribution (nil unless AttachAttribution was called): spans
+	// receive per-cause latency segments, ledger the final classification
+	// of every prefetch. The last refresh / blackout window per bank lets
+	// queue time that overlapped them be charged to the right cause.
+	spans       *obs.SpanSet
+	ledger      *obs.PrefetchLedger
+	lastRefNear []window // most recent refresh window per bank
+	lastBlkNear []window // most recent blackout window per bank
 }
+
+// window is one [start, end) interval on a bank's timeline.
+type window struct{ start, end sim.Time }
 
 // New returns a vault controller for vault id using the given prefetch
 // scheme. All controllers of a cube share one simulation engine.
@@ -220,6 +237,50 @@ func (c *Controller) emit(t obs.EventType, at sim.Time, bank int, row, arg int64
 // Call before the simulation starts.
 func (c *Controller) SetFaults(site *fault.VaultSite) { c.faults = site }
 
+// AttachAttribution connects the vault to the attribution layer: demand
+// spans accrue cause segments here, and every prefetch's fate is
+// classified into the ledger (the buffer records eviction outcomes; the
+// controller records queue-overflow and poison casualties directly).
+// Either argument may be nil. Call before the simulation starts.
+func (c *Controller) AttachAttribution(spans *obs.SpanSet, ledger *obs.PrefetchLedger) {
+	c.spans = spans
+	c.ledger = ledger
+	if spans != nil && c.lastRefNear == nil {
+		c.lastRefNear = make([]window, len(c.banks))
+		c.lastBlkNear = make([]window, len(c.banks))
+	}
+	c.buffer.SetLedger(ledger, c.id)
+}
+
+// overlapPs returns the length of the intersection of [a0,a1) and w.
+func overlapPs(a0, a1 sim.Time, w window) sim.Time {
+	lo, hi := maxTime(a0, w.start), minTime(a1, w.end)
+	if hi > lo {
+		return hi - lo
+	}
+	return 0
+}
+
+// chargeWait attributes a read's residence in the queue ([arrived, now))
+// across blackout, refresh and plain-queue causes. Blackout and refresh
+// windows never overlap on one bank (both occupy it exclusively), so the
+// two overlaps are disjoint; clamping keeps the total exact regardless.
+func (c *Controller) chargeWait(ref obs.SpanRef, b int, arrived, now sim.Time) {
+	if c.spans == nil || !ref.Valid() {
+		return
+	}
+	rem := now - arrived
+	if blk := overlapPs(arrived, now, c.lastBlkNear[b]); blk > 0 {
+		blk = minTime(blk, rem)
+		c.spans.Advance(ref, obs.CauseFaultRetry, int64(blk))
+		rem -= blk
+	}
+	if ref2 := overlapPs(arrived, now, c.lastRefNear[b]); ref2 > 0 {
+		c.spans.Advance(ref, obs.CauseRefreshStall, int64(minTime(ref2, rem)))
+	}
+	c.spans.AdvanceTo(ref, obs.CauseQueue, int64(now))
+}
+
 // ID returns the vault number.
 func (c *Controller) ID() int { return c.id }
 
@@ -275,6 +336,7 @@ func (c *Controller) Submit(req Request) {
 		c.stats.BufferHits.Inc()
 		c.emit(obs.EvPrefetchHit, now, req.Bank, req.Row, int64(req.Line))
 		c.pf.OnBufferHit(prefetch.Request{Bank: req.Bank, Row: req.Row, Line: req.Line, Write: req.Write})
+		c.spans.AdvanceTo(req.Span, obs.CausePFBufferHit, int64(now+c.pfHitLat))
 		c.complete(req, now, now+c.pfHitLat)
 		return
 	}
@@ -346,6 +408,9 @@ func (c *Controller) enqueueFetches(fs []prefetch.Fetch) {
 			c.fetchQ = c.fetchQ[:len(c.fetchQ)-1]
 			c.fetchCount[old.Bank]--
 			c.stats.FetchesDropped.Inc()
+			// Squeezed out of the queue by bank pressure before it could
+			// ever become resident: a conflict victim in the ledger.
+			c.ledger.Record(c.id, obs.ConflictVictim)
 			c.emit(obs.EvPrefetchDrop, c.eng.Now(), old.Bank, old.Row, 0)
 		}
 		c.fetchQ = append(c.fetchQ, f)
@@ -439,6 +504,13 @@ func (c *Controller) startJob(b int, now sim.Time) {
 	// closes; the daemon wake covers work the retry path does not watch
 	// (refresh, fetch hints) without extending an otherwise-drained run.
 	if until := c.faults.BankBlockedUntil(b, now); until > 0 {
+		if c.lastBlkNear != nil && until != c.lastBlkNear[b].end {
+			// First dispatch attempt inside a new window: record it so
+			// queue time overlapping it is charged to fault_retry. The
+			// recorded start is the first blocked attempt, a lower bound
+			// on the true window start.
+			c.lastBlkNear[b] = window{start: now, end: until}
+		}
 		if until > c.busy[b] {
 			c.busy[b] = until
 			c.eng.AtDaemon(until, c.scheduleFn)
@@ -504,6 +576,8 @@ func (c *Controller) takeRead(b int, now sim.Time) (pending, bool) {
 			c.stats.BufferHits.Inc()
 			c.emit(obs.EvPrefetchHit, now, p.req.Bank, p.req.Row, int64(p.req.Line))
 			c.pf.OnBufferHit(prefetch.Request{Bank: p.req.Bank, Row: p.req.Row, Line: p.req.Line, Write: p.req.Write})
+			c.chargeWait(p.req.Span, b, p.arrived, now)
+			c.spans.AdvanceTo(p.req.Span, obs.CausePFBufferHit, int64(now+c.pfHitLat))
 			c.complete(p.req, p.arrived, now+c.pfHitLat)
 			continue
 		}
@@ -599,12 +673,15 @@ func (c *Controller) activate(b int, start sim.Time, row int64) {
 }
 
 // openFor brings bank b to "row open" for row, returning the row-buffer
-// state encountered, the displaced row (or dram.NoRow) and the time the
-// column path is usable.
-func (c *Controller) openFor(b int, start sim.Time, row int64) (dram.RowState, int64, sim.Time) {
+// state encountered, the displaced row (or dram.NoRow), the time the
+// column path is usable, and — on a conflict — when the precharge that
+// closed the displaced row completed (0 otherwise; attribution charges
+// the request's time up to it as bank_conflict).
+func (c *Controller) openFor(b int, start sim.Time, row int64) (dram.RowState, int64, sim.Time, sim.Time) {
 	bank := c.banks[b]
 	state := bank.Classify(row)
 	displaced := dram.NoRow
+	preDone := sim.Time(0)
 	switch state {
 	case dram.RowHit:
 		// Row already open; column legal at EarliestColumn.
@@ -613,19 +690,26 @@ func (c *Controller) openFor(b int, start sim.Time, row int64) (dram.RowState, i
 	case dram.RowConflict:
 		displaced = bank.OpenRow()
 		preAt := maxTime(start, bank.EarliestPrecharge())
-		ready := bank.Precharge(preAt)
-		c.activate(b, ready, row)
+		preDone = bank.Precharge(preAt)
+		c.activate(b, preDone, row)
 	}
-	return state, displaced, maxTime(start, bank.EarliestColumn())
+	return state, displaced, maxTime(start, bank.EarliestColumn()), preDone
 }
 
 // runRead executes one demand read on bank b.
 func (c *Controller) runRead(b int, now sim.Time, p pending) {
 	bank := c.banks[b]
-	state, displaced, colAt := c.openFor(b, now, p.req.Row)
+	state, displaced, colAt, preDone := c.openFor(b, now, p.req.Row)
 	dataDone := bank.Read(colAt)
 	c.busy[b] = dataDone
 	c.recordRowState(state, now, b, p.req.Row)
+	// Attribution: queue residence first, then — on a conflict — the
+	// precharge closing the displaced row, then the access itself.
+	c.chargeWait(p.req.Span, b, p.arrived, now)
+	if preDone > 0 {
+		c.spans.AdvanceTo(p.req.Span, obs.CauseBankConflict, int64(minTime(preDone, dataDone)))
+	}
+	c.spans.AdvanceTo(p.req.Span, obs.CauseService, int64(dataDone))
 	c.complete(p.req, p.arrived, dataDone)
 	fetches := c.pf.OnDemandServed(
 		prefetch.Request{Bank: p.req.Bank, Row: p.req.Row, Line: p.req.Line, Write: false},
@@ -665,7 +749,7 @@ func (c *Controller) runWrite(b int, now sim.Time, p pending) {
 		return
 	}
 	bank := c.banks[b]
-	state, displaced, colAt := c.openFor(b, now, p.req.Row)
+	state, displaced, colAt, _ := c.openFor(b, now, p.req.Row)
 	end := bank.Write(colAt)
 	c.busy[b] = end
 	c.recordRowState(state, now, b, p.req.Row)
@@ -729,7 +813,7 @@ func (c *Controller) runFetch(b int, now sim.Time, f prefetch.Fetch) bool {
 		return false
 	}
 	bank := c.banks[b]
-	_, _, colAt := c.openFor(b, now, f.Row)
+	_, _, colAt, _ := c.openFor(b, now, f.Row)
 	start := c.reserveTSV(colAt)
 	end := c.tsvComplete(start, bank.FetchRow(start, c.lines))
 	release := end
@@ -753,10 +837,20 @@ func (c *Controller) runFetch(b int, now sim.Time, f prefetch.Fetch) bool {
 func (c *Controller) insertFetched(id pfbuffer.RowID, touched uint64, at sim.Time) {
 	if c.faults.PoisonInsert(id.Bank, id.Row, at) {
 		c.pf.OnEviction(pfbuffer.Eviction{ID: id})
+		// The fetch was spent but no demand can ever use it: pollution in
+		// the ledger, and excluded from buffer accuracy (the row never
+		// became resident).
+		c.ledger.Record(c.id, obs.EvictedUnused)
+		c.buffer.NotePoisoned()
 		return
 	}
 	if ev, ok := c.buffer.Insert(id, touched, at); ok {
 		c.onEviction(ev)
+	}
+	// A demand read for this row already queued means the prefetch lost
+	// (part of) the race: any use it sees is late.
+	if (*queueView)(c).PendingReadsForRow(id.Bank, id.Row) > 0 {
+		c.buffer.MarkLate(id)
 	}
 }
 
@@ -784,7 +878,7 @@ func (c *Controller) tsvComplete(start, bankEnd sim.Time) sim.Time {
 // runStore writes a dirty evicted row back into its bank.
 func (c *Controller) runStore(b int, now sim.Time, id pfbuffer.RowID) {
 	bank := c.banks[b]
-	_, _, colAt := c.openFor(b, now, id.Row)
+	_, _, colAt, _ := c.openFor(b, now, id.Row)
 	start := c.reserveTSV(colAt)
 	end := c.tsvComplete(start, bank.StoreRow(start, c.lines))
 	preAt := maxTime(end, bank.EarliestPrecharge())
@@ -806,6 +900,9 @@ func (c *Controller) runRefresh(b int, now sim.Time) {
 	done := bank.Refresh(maxTime(start, bank.EarliestActivate()))
 	c.busy[b] = done
 	c.stats.Refreshes.Inc()
+	if c.lastRefNear != nil {
+		c.lastRefNear[b] = window{start: now, end: done}
+	}
 	c.nextRefresh[b] += c.timing.REFI
 	// The bank's next deadline is covered by armRefreshWake when this
 	// schedule() pass ends. Daemon: refresh self-sustains forever; queued
@@ -903,6 +1000,13 @@ func (c *Controller) PendingWork() bool {
 
 func maxTime(a, b sim.Time) sim.Time {
 	if a > b {
+		return a
+	}
+	return b
+}
+
+func minTime(a, b sim.Time) sim.Time {
+	if a < b {
 		return a
 	}
 	return b

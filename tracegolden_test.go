@@ -1,0 +1,99 @@
+package camps_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"camps"
+	"camps/internal/obs"
+)
+
+// traceGoldenRun is the fixed configuration whose Chrome trace export is
+// pinned in testdata/golden_trace_mx1.json: a short run with attribution
+// enabled so the golden covers span duration events alongside the point
+// events, through a small ring so the file stays reviewable.
+func traceGoldenRun() (camps.RunConfig, *obs.Suite) {
+	rc := camps.RunConfig{
+		Scheme:       camps.CAMPSMOD,
+		WarmupRefs:   500,
+		MeasureInstr: 5_000,
+		Seed:         42,
+	}
+	mix, _ := camps.MixByID("MX1")
+	rc.Mix = mix
+	suite := obs.NewSuite(256)
+	suite.EnableAttribution(camps.CAMPSMOD.String())
+	rc.Obs = suite
+	return rc, suite
+}
+
+// TestChromeTraceGolden pins the Chrome trace_event export byte-for-byte:
+// two same-seed runs must serialize identically, and the result must
+// match the committed golden. Any change to event emission, field layout,
+// or span rendering must update the golden deliberately:
+//
+//	UPDATE_GOLDEN=1 go test -run TestChromeTraceGolden .
+func TestChromeTraceGolden(t *testing.T) {
+	export := func() []byte {
+		rc, suite := traceGoldenRun()
+		if _, err := camps.Run(rc); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := suite.Tracer.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := export(), export()
+	if !bytes.Equal(a, b) {
+		t.Fatal("same-seed runs exported different Chrome traces")
+	}
+
+	// The golden must exercise the span path: duration events ("ph":"X")
+	// with microsecond durations, alongside ordinary point events.
+	var doc struct {
+		TraceEvents []struct {
+			Phase string  `json:"ph"`
+			Name  string  `json:"name"`
+			DurUs float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("export not valid JSON: %v", err)
+	}
+	spans, points := 0, 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Phase {
+		case "X":
+			spans++
+			if ev.Name != "span" || ev.DurUs <= 0 {
+				t.Fatalf("malformed span event: %+v", ev)
+			}
+		default:
+			points++
+		}
+	}
+	if spans == 0 || points == 0 {
+		t.Fatalf("golden run traced %d span and %d point events; need both", spans, points)
+	}
+
+	golden := filepath.Join("testdata", "golden_trace_mx1.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, a, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s (%d span events, %d point events)", golden, spans, points)
+		return
+	}
+	have, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden trace (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(have, a) {
+		t.Errorf("Chrome trace differs from committed golden %s.\nIf the behaviour change is intentional, regenerate with UPDATE_GOLDEN=1.", golden)
+	}
+}
