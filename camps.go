@@ -45,22 +45,41 @@ import (
 // Scheme identifies a memory-side prefetching scheme.
 type Scheme = prefetch.Scheme
 
-// The five schemes evaluated in the paper, plus the no-prefetch reference.
+// The five schemes evaluated in the paper, the no-prefetch reference, and
+// the extension engines. Any engine added to the prefetch registry is also
+// reachable by name through ParseScheme without a constant here.
 const (
-	BASE     = prefetch.Base
-	BASEHIT  = prefetch.BaseHit
-	MMD      = prefetch.MMD
-	CAMPS    = prefetch.CAMPS
-	CAMPSMOD = prefetch.CAMPSMOD
-	NONE     = prefetch.None
-	ASD      = prefetch.ASD
+	BASE       = prefetch.Base
+	BASEHIT    = prefetch.BaseHit
+	MMD        = prefetch.MMD
+	CAMPS      = prefetch.CAMPS
+	CAMPSMOD   = prefetch.CAMPSMOD
+	NONE       = prefetch.None
+	ASD        = prefetch.ASD
+	GHB        = prefetch.GHB
+	SISB       = prefetch.SISB
+	BESTOFFSET = prefetch.BestOffset
+	HYBRID     = prefetch.Hybrid
 )
 
 // Schemes returns the paper's five schemes in presentation order.
 func Schemes() []Scheme { return prefetch.Schemes() }
 
-// AllSchemes additionally includes the NONE (no prefetching) reference.
+// AllSchemes returns every registered scheme in registration order,
+// including the NONE reference and the extension engines.
 func AllSchemes() []Scheme { return prefetch.AllSchemes() }
+
+// SchemeNames returns every registered engine's canonical name in
+// registration order (the list CLIs derive their help text from).
+func SchemeNames() []string { return prefetch.Names() }
+
+// EngineKnob is one engine-exposed sweep parameter (see EngineKnobs).
+type EngineKnob = prefetch.Knob
+
+// EngineKnobs returns the sweepable configuration knobs every registered
+// engine exposes, in registration order; campsweep merges these with its
+// hardware knobs.
+func EngineKnobs() []EngineKnob { return prefetch.EngineKnobs() }
 
 // Hardware policy knobs, re-exported for ablation studies; see the config
 // package for semantics.
@@ -311,6 +330,9 @@ func RunContext(ctx context.Context, rc RunConfig) (Results, error) {
 	}
 	rc.applyDefaults()
 	if err := rc.System.Validate(); err != nil {
+		return Results{}, &apiError{msg: "camps: " + err.Error(), refs: []error{ErrInvalidConfig, err}}
+	}
+	if err := prefetch.ValidateConfig(rc.System); err != nil {
 		return Results{}, &apiError{msg: "camps: " + err.Error(), refs: []error{ErrInvalidConfig, err}}
 	}
 	if err := rc.Faults.Validate(); err != nil {

@@ -46,6 +46,10 @@ func benchScenarios() []benchScenario {
 		{Name: "default", Mix: "MX1", Scheme: camps.CAMPSMOD, Instr: 200_000, Warmup: 20_000},
 		{Name: "noprefetch", Mix: "HM1", Scheme: camps.NONE, Instr: 200_000, Warmup: 20_000},
 		{Name: "heavy-lm", Mix: "LM2", Scheme: camps.CAMPSMOD, Instr: 200_000, Warmup: 20_000},
+		// The set-dueling meta-engine runs every candidate's predictor on
+		// the full demand stream, so it bounds the engine-side overhead of
+		// the registry redesign.
+		{Name: "hybrid", Mix: "MX1", Scheme: camps.HYBRID, Instr: 200_000, Warmup: 20_000},
 	}
 }
 

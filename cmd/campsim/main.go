@@ -41,7 +41,7 @@ func main() {
 
 	var (
 		mixID      = flag.String("mix", "HM1", "workload mix (HM1-4, LM1-4, MX1-4, DC1-2)")
-		scheme     = flag.String("scheme", "CAMPS-MOD", "prefetching scheme (BASE, BASE-HIT, MMD, CAMPS, CAMPS-MOD, NONE, ASD)")
+		scheme     = flag.String("scheme", "CAMPS-MOD", "prefetching scheme ("+strings.Join(camps.SchemeNames(), ", ")+")")
 		instr      = flag.Uint64("instr", 400_000, "measured instructions per core")
 		warmup     = flag.Uint64("warmup", 50_000, "cache-warmup references per core")
 		seed       = flag.Uint64("seed", 1, "trace seed")
@@ -75,7 +75,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s, err := camps.ParseScheme(strings.ToUpper(*scheme))
+	s, err := camps.ParseScheme(*scheme)
 	if err != nil {
 		log.Fatal(err)
 	}

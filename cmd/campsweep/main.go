@@ -45,10 +45,6 @@ type knob struct {
 }
 
 var knobs = map[string]knob{
-	"ct": {"CAMPS conflict-table entries per vault",
-		func(sys *camps.SystemConfig, v int64) { sys.CAMPS.CTEntries = int(v) }},
-	"threshold": {"CAMPS RUT utilization threshold",
-		func(sys *camps.SystemConfig, v int64) { sys.CAMPS.UtilThreshold = int(v) }},
 	"buffer": {"prefetch-buffer entries per vault",
 		func(sys *camps.SystemConfig, v int64) {
 			sys.PFBuffer.SizeBytes = v * int64(sys.PFBuffer.LineBytes)
@@ -69,6 +65,18 @@ var knobs = map[string]knob{
 		func(sys *camps.SystemConfig, v int64) { sys.Processor.L2PrefetchDegree = int(v) }},
 }
 
+// init merges the prefetch registry's per-engine knobs (ct, threshold,
+// mmd.degree, ghb.width, ...) into the sweepable set, so a newly registered
+// engine's parameters appear in -list without touching this file.
+func init() {
+	for _, k := range camps.EngineKnobs() {
+		if _, dup := knobs[k.Name]; dup {
+			panic("campsweep: engine knob shadows builtin: " + k.Name)
+		}
+		knobs[k.Name] = knob{help: k.Help, apply: k.Apply}
+	}
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("campsweep: ")
@@ -77,7 +85,7 @@ func main() {
 		name     = flag.String("knob", "", "knob to sweep (see -list)")
 		values   = flag.String("values", "", "comma-separated values")
 		mixID    = flag.String("mix", "HM2", "workload mix")
-		scheme   = flag.String("scheme", "CAMPS-MOD", "prefetching scheme")
+		scheme   = flag.String("scheme", "CAMPS-MOD", "prefetching scheme ("+strings.Join(camps.SchemeNames(), ", ")+")")
 		instr    = flag.Uint64("instr", 200_000, "measured instructions per core")
 		seed     = flag.Uint64("seed", 1, "trace seed")
 		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = NumCPU)")
@@ -121,7 +129,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s, err := camps.ParseScheme(strings.ToUpper(*scheme))
+	s, err := camps.ParseScheme(*scheme)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -217,17 +217,58 @@ type MMD struct {
 	LowAccuracy    float64 // lower degree below this accuracy
 }
 
+// GHB holds the parameters of the ghb width prefetcher: a per-vault
+// global history buffer of row activations with an address-index table
+// hashed by activation delta.
+type GHB struct {
+	HistEntries int // global-history ring entries (power of two)
+	AITEntries  int // address-index-table slots (power of two)
+	Width       int // history chain occurrences consulted per trigger
+	Degree      int // successors predicted per chain occurrence
+}
+
+// SISB holds the parameters of the sisb temporal next-address predictor:
+// a bounded FIFO-evicted table of row-activation successors.
+type SISB struct {
+	TableEntries int // bounded successor-table capacity
+	Degree       int // chained predictions issued per trigger
+}
+
+// BestOffset holds the parameters of the bestoffset engine: offset
+// scoring rounds against a recent-request table, after Michaud's
+// Best-Offset prefetcher, at row granularity.
+type BestOffset struct {
+	RREntries int // recent-request table slots (power of two)
+	ScoreMax  int // offset score that ends a learning phase early
+	RoundMax  int // full scoring rounds per learning phase
+	BadScore  int // winning score at or below which prefetch disables
+}
+
+// Hybrid holds the parameters of the hybrid meta-engine, which set-duels
+// registered engines per vault at epoch granularity.
+type Hybrid struct {
+	EpochRequests int // duel epoch length in demand requests
+	ShadowEntries int // per-candidate shadow prediction slots (power of two)
+	// Candidates names the engines to duel (prefetch registry names).
+	// Empty means every registered fetching engine.
+	Candidates []string
+}
+
 // Config is the full simulated-system configuration.
 type Config struct {
-	Processor Processor
-	L1        CacheLevel
-	L2        CacheLevel
-	L3        CacheLevel
-	HMC       HMC
-	Links     Links
-	PFBuffer  PFBuffer
-	CAMPS     CAMPS
-	MMD       MMD
+	Processor  Processor
+	L1         CacheLevel
+	L2         CacheLevel
+	L3         CacheLevel
+	HMC        HMC
+	Links      Links
+	PFBuffer   PFBuffer
+	CAMPS      CAMPS
+	MMD        MMD
+	GHB        GHB
+	SISB       SISB
+	BestOffset BestOffset
+	Hybrid     Hybrid
 }
 
 // Default returns the Table I configuration.
@@ -270,11 +311,23 @@ func Default() Config {
 			// one propagation each way on top of re-serialization.
 			RetryTurnaround: 6400 * sim.Picosecond,
 		},
-		PFBuffer: PFBuffer{SizeBytes: 16 << 10, LineBytes: 1 << 10, HitLatency: 22},
-		CAMPS:    CAMPS{UtilThreshold: 4, CTEntries: 32},
-		MMD:      MMD{MaxDegree: 4, TouchThreshold: 3, EpochRequests: 512, HighAccuracy: 0.75, LowAccuracy: 0.40},
+		PFBuffer:   PFBuffer{SizeBytes: 16 << 10, LineBytes: 1 << 10, HitLatency: 22},
+		CAMPS:      CAMPS{UtilThreshold: 4, CTEntries: 32},
+		MMD:        MMD{MaxDegree: 4, TouchThreshold: 3, EpochRequests: 512, HighAccuracy: 0.75, LowAccuracy: 0.40},
+		GHB:        GHB{HistEntries: 256, AITEntries: 256, Width: 2, Degree: 2},
+		SISB:       SISB{TableEntries: 2048, Degree: 2},
+		BestOffset: BestOffset{RREntries: 64, ScoreMax: 31, RoundMax: 100, BadScore: 1},
+		Hybrid: Hybrid{
+			EpochRequests: 256,
+			ShadowEntries: 256,
+			Candidates:    []string{"MMD", "CAMPS", "CAMPS-MOD", "ghb", "sisb", "bestoffset"},
+		},
 	}
 }
+
+// ErrLineBitmap reports a geometry whose rows hold more cache lines than
+// the 64-bit per-row line bitmap (prefetch.Fetch.Touched) can represent.
+var ErrLineBitmap = errors.New("config: lines per row exceeds 64-bit line bitmap")
 
 // Validate checks internal consistency.
 func (c Config) Validate() error {
@@ -329,6 +382,26 @@ func (c Config) Validate() error {
 	check(c.MMD.EpochRequests > 0, "config: MMD epoch must be positive")
 	check(c.MMD.LowAccuracy < c.MMD.HighAccuracy,
 		"config: MMD low-accuracy threshold must be below high-accuracy threshold")
+	check(c.GHB.HistEntries > 0 && isPow2(int64(c.GHB.HistEntries)),
+		"config: GHB history entries must be a positive power of two")
+	check(c.GHB.AITEntries > 0 && isPow2(int64(c.GHB.AITEntries)),
+		"config: GHB address-index entries must be a positive power of two")
+	check(c.GHB.Width > 0, "config: GHB width must be positive")
+	check(c.GHB.Degree > 0, "config: GHB degree must be positive")
+	check(c.SISB.TableEntries > 0, "config: SISB table entries must be positive")
+	check(c.SISB.Degree > 0, "config: SISB degree must be positive")
+	check(c.BestOffset.RREntries > 0 && isPow2(int64(c.BestOffset.RREntries)),
+		"config: best-offset RR entries must be a positive power of two")
+	check(c.BestOffset.ScoreMax > 0, "config: best-offset score max must be positive")
+	check(c.BestOffset.RoundMax > 0, "config: best-offset round max must be positive")
+	check(c.BestOffset.BadScore >= 0, "config: best-offset bad score must not be negative")
+	check(c.Hybrid.EpochRequests > 0, "config: hybrid epoch must be positive")
+	check(c.Hybrid.ShadowEntries > 0 && isPow2(int64(c.Hybrid.ShadowEntries)),
+		"config: hybrid shadow entries must be a positive power of two")
+	if c.L3.LineBytes > 0 && c.LinesPerRow() > 64 {
+		errs = append(errs, fmt.Errorf("%w: row of %d bytes holds %d lines of %d bytes",
+			ErrLineBitmap, c.HMC.RowBytes, c.LinesPerRow(), c.L3.LineBytes))
+	}
 	return errors.Join(errs...)
 }
 

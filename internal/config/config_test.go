@@ -1,6 +1,7 @@
 package config
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -94,6 +95,10 @@ func TestValidateCatchesErrors(t *testing.T) {
 		{"zero threshold", func(c *Config) { c.CAMPS.UtilThreshold = 0 }, "threshold"},
 		{"mmd thresholds", func(c *Config) { c.MMD.LowAccuracy = 0.9 }, "MMD"},
 		{"zero queue", func(c *Config) { c.HMC.ReadQueue = 0 }, "queue"},
+		{"zero ghb width", func(c *Config) { c.GHB.Width = 0 }, "GHB"},
+		{"zero sisb degree", func(c *Config) { c.SISB.Degree = 0 }, "SISB"},
+		{"zero bo rounds", func(c *Config) { c.BestOffset.RoundMax = 0 }, "best-offset"},
+		{"zero hybrid epoch", func(c *Config) { c.Hybrid.EpochRequests = 0 }, "hybrid"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -107,6 +112,27 @@ func TestValidateCatchesErrors(t *testing.T) {
 				t.Fatalf("error %q does not mention %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// Regression: prefetch.Fetch carries touched lines as a uint64 bitmap, so
+// a geometry with more than 64 lines per row would silently truncate
+// utilization tracking. Validate must reject it with a typed error.
+func TestValidateRejectsOversizedLineBitmap(t *testing.T) {
+	c := Default()
+	c.HMC.RowBytes = 16384 // 256 lines of 64 bytes
+	err := c.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted 256 lines per row")
+	}
+	if !errors.Is(err, ErrLineBitmap) {
+		t.Fatalf("error %q is not ErrLineBitmap", err)
+	}
+	// Exactly 64 lines still fits the bitmap.
+	c = Default()
+	c.HMC.RowBytes = 64 * c.L3.LineBytes
+	if err := c.Validate(); errors.Is(err, ErrLineBitmap) {
+		t.Fatalf("64 lines per row rejected: %v", err)
 	}
 }
 

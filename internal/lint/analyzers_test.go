@@ -50,6 +50,10 @@ func TestStatsReg(t *testing.T) {
 	runWantTest(t, StatsReg, "statsreg")
 }
 
+func TestPfRegister(t *testing.T) {
+	runWantTest(t, PfRegister, "pfregister")
+}
+
 func TestCheckDirectivesFlagsUnknownNames(t *testing.T) {
 	pkg := loadTestPackage(t, "directives")
 	ds := CheckDirectives(pkg, All())

@@ -13,7 +13,7 @@ import (
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{CtxThread, MapOrder, SimDeterminism, StatsReg, TickArith}
+	return []*Analyzer{CtxThread, MapOrder, PfRegister, SimDeterminism, StatsReg, TickArith}
 }
 
 // Exit codes of the campslint CLI.

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const prefetchPkgPath = "camps/internal/prefetch"
+
+// PfRegister guards the prefetch-engine registry. Scheme IDs are assigned
+// by registration order and appear verbatim in exported Results (the
+// golden traces pin them), and campsweep's -list / ParseScheme error text
+// enumerate the registered names — so the name set must be knowable at
+// build time and the registration order deterministic. Two patterns break
+// that:
+//
+//   - prefetch.Register called with a name that is not a compile-time
+//     constant: the engine namespace becomes unenumerable, and a dynamic
+//     name can collide with a builtin only at runtime.
+//   - prefetch.Register called from inside a range over a map: Go map
+//     iteration order is randomized per process, so the engines would get
+//     different Scheme IDs on every run, silently breaking golden exports
+//     and checkpoint resume.
+var PfRegister = &Analyzer{
+	Name:  "pfregister",
+	Doc:   "flag prefetch.Register calls with non-constant names or map-iteration registration order",
+	Allow: "pfregister",
+	Run:   runPfRegister,
+}
+
+func runPfRegister(pass *Pass) {
+	for _, f := range pass.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := funcOf(pass.Info, call.Fun)
+			if !isPkgFunc(fn, prefetchPkgPath, "Register") {
+				return true
+			}
+			if tv, ok := pass.Info.Types[call.Args[0]]; !ok || tv.Value == nil {
+				pass.Reportf(call.Args[0].Pos(),
+					"engine name passed to prefetch.Register is not a compile-time constant: use a string literal or named constant so the engine namespace stays enumerable (or //lint:allow-pfregister <reason>)")
+			}
+			for _, anc := range stack {
+				rs, ok := anc.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				if t := pass.Info.TypeOf(rs.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Reportf(call.Pos(),
+							"prefetch.Register called while ranging over a map: map iteration order is randomized, so Scheme IDs would differ between runs; register from a slice or explicit sequence (or //lint:allow-pfregister <reason>)")
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,19 @@
+// Package prefetch is a testdata stand-in for camps/internal/prefetch
+// with the registry surface the pfregister analyzer recognizes.
+package prefetch
+
+type Scheme int
+
+type Engine interface {
+	OnBufferHit()
+}
+
+type Descriptor struct {
+	Name string
+	Doc  string
+	New  func() Engine
+}
+
+func Register(name string, d Descriptor) Scheme { return 0 }
+
+func Lookup(name string) (Scheme, bool) { return 0, false }

@@ -1,0 +1,68 @@
+// Golden file for the pfregister analyzer: Register names must be
+// compile-time constants, and registration must not be driven by map
+// iteration (Scheme IDs follow registration order).
+package pfregister
+
+import (
+	"fmt"
+
+	"camps/internal/prefetch"
+)
+
+const goodName = "my-engine"
+
+func GoodLiteral() {
+	prefetch.Register("stride", prefetch.Descriptor{Name: "stride"})
+}
+
+func GoodNamedConstant() {
+	prefetch.Register(goodName, prefetch.Descriptor{Name: goodName})
+}
+
+func GoodConstantExpression() {
+	prefetch.Register(goodName+"-v2", prefetch.Descriptor{})
+}
+
+func BadDynamicName(i int) {
+	name := fmt.Sprintf("engine-%d", i)
+	prefetch.Register(name, prefetch.Descriptor{}) // want `not a compile-time constant`
+}
+
+func BadVariableName(names []string) {
+	for _, n := range names {
+		prefetch.Register(n, prefetch.Descriptor{}) // want `not a compile-time constant`
+	}
+}
+
+func BadMapIteration(engines map[string]prefetch.Descriptor) {
+	for range engines {
+		// Constant name, but the registration ORDER still depends on map
+		// iteration.
+		prefetch.Register("from-map", prefetch.Descriptor{}) // want `ranging over a map`
+	}
+}
+
+func BadMapIterationDynamic(engines map[string]prefetch.Descriptor) {
+	for name, d := range engines {
+		prefetch.Register(name, d) // want `not a compile-time constant` `ranging over a map`
+	}
+}
+
+func GoodSliceIteration(names [3]string) {
+	// Slice/array iteration is deterministic; only the non-constant name
+	// rule could apply, and a constant name keeps it clean.
+	for range names {
+		prefetch.Register("fixed", prefetch.Descriptor{})
+	}
+}
+
+func GoodLookup() {
+	if _, ok := prefetch.Lookup("stride"); !ok {
+		prefetch.Register("stride", prefetch.Descriptor{})
+	}
+}
+
+func AllowedDynamic(name string) {
+	//lint:allow-pfregister test-only probe engines get generated names
+	prefetch.Register(name, prefetch.Descriptor{})
+}

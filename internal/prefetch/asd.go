@@ -51,8 +51,6 @@ func newASD(ctx Context) *asdEngine {
 	return e
 }
 
-func (e *asdEngine) Scheme() Scheme { return ASD }
-
 // Depth returns the current prefetch depth (1 = confirmed row only,
 // 2 = plus its successor).
 func (e *asdEngine) Depth() int { return e.depth }

@@ -16,8 +16,6 @@ type baseEngine struct {
 
 func newBase(ctx Context) *baseEngine { return &baseEngine{ctx: ctx} }
 
-func (e *baseEngine) Scheme() Scheme { return Base }
-
 func (e *baseEngine) OnDemandServed(req Request, _ dram.RowState, _ int64) []Fetch {
 	return []Fetch{{Bank: req.Bank, Row: req.Row, CloseAfter: true,
 		Touched: 1 << uint(req.Line)}}
@@ -36,8 +34,6 @@ type baseHitEngine struct {
 }
 
 func newBaseHit(ctx Context) *baseHitEngine { return &baseHitEngine{ctx: ctx} }
-
-func (e *baseHitEngine) Scheme() Scheme { return BaseHit }
 
 func (e *baseHitEngine) OnDemandServed(req Request, _ dram.RowState, _ int64) []Fetch {
 	if e.ctx.Queue == nil {

@@ -1,0 +1,154 @@
+package prefetch
+
+import (
+	"fmt"
+
+	"camps/internal/config"
+	"camps/internal/pfbuffer"
+)
+
+// The built-in schemes keep fixed numeric identities: exported results
+// marshal Scheme as an integer, and the committed same-seed goldens pin
+// these values. registerBuiltins registers in exactly this order and
+// init asserts the assignment.
+const (
+	// Base prefetches a whole row on every first access.
+	Base Scheme = iota
+	// BaseHit prefetches a row with >= 2 pending read-queue requests.
+	BaseHit
+	// MMD adapts prefetch degree to usefulness, LRU buffer.
+	MMD
+	// CAMPS is conflict-aware prefetching with LRU buffer management.
+	CAMPS
+	// CAMPSMOD is CAMPS with utilization+recency buffer management.
+	CAMPSMOD
+	// None disables prefetching entirely — the unmodified HMC, a reference
+	// point beyond the paper's five compared schemes.
+	None
+	// ASD is a row-granularity adaptation of Hur & Lin's Adaptive Stream
+	// Detection (the paper's related work [10]); an extension scheme.
+	ASD
+	// GHB is a global-history-buffer width prefetcher over the
+	// row-activation stream (extension).
+	GHB
+	// SISB is a temporal next-address predictor with a bounded training
+	// table (extension).
+	SISB
+	// BestOffset scores row offsets against a recent-request table
+	// (extension, after Michaud's Best-Offset prefetcher).
+	BestOffset
+	// Hybrid set-duels the registered candidate engines per vault at epoch
+	// granularity (meta-engine extension).
+	Hybrid
+)
+
+func init() { registerBuiltins() }
+
+// registerBuiltins populates the registry with the paper's five schemes,
+// the NONE/ASD references, and the extension zoo — sequentially, with
+// constant names (the pfregister analyzer's contract), asserting that
+// registration order reproduces the historical Scheme constants.
+func registerBuiltins() {
+	assert := func(want Scheme, got Scheme) {
+		if want != got {
+			panic(fmt.Sprintf("prefetch: builtin %s registered as %d, want %d",
+				got, int(got), int(want)))
+		}
+	}
+	assert(Base, Register("BASE", Descriptor{
+		Doc:    "fetch the whole row on first access, precharge after",
+		Paper:  true,
+		Policy: pfbuffer.LRU,
+		New:    func(_ config.Config, ctx Context) Engine { return newBase(ctx) },
+	}))
+	assert(BaseHit, Register("BASE-HIT", Descriptor{
+		Doc:    "fetch a row once >= 2 reads for it are queued",
+		Paper:  true,
+		Policy: pfbuffer.LRU,
+		New:    func(_ config.Config, ctx Context) Engine { return newBaseHit(ctx) },
+	}))
+	assert(MMD, Register("MMD", Descriptor{
+		Doc:    "sequential-row prefetch, degree adapted to usefulness per epoch",
+		Paper:  true,
+		Policy: pfbuffer.LRU,
+		Knobs: []Knob{
+			{Name: "mmd.degree", Help: "MMD maximum prefetch degree",
+				Apply: func(c *config.Config, v int64) { c.MMD.MaxDegree = int(v) }},
+			{Name: "mmd.epoch", Help: "MMD feedback epoch in demand requests",
+				Apply: func(c *config.Config, v int64) { c.MMD.EpochRequests = int(v) }},
+		},
+		New: func(cfg config.Config, ctx Context) Engine { return newMMD(cfg.MMD, ctx) },
+	}))
+	assert(CAMPS, Register("CAMPS", Descriptor{
+		Doc:    "conflict-aware prefetching (RUT + CT), LRU buffer",
+		Paper:  true,
+		Policy: pfbuffer.LRU,
+		Knobs: []Knob{
+			{Name: "ct", Help: "CAMPS conflict-table entries per vault",
+				Apply: func(c *config.Config, v int64) { c.CAMPS.CTEntries = int(v) }},
+			{Name: "threshold", Help: "CAMPS RUT utilization threshold",
+				Apply: func(c *config.Config, v int64) { c.CAMPS.UtilThreshold = int(v) }},
+		},
+		New: func(cfg config.Config, ctx Context) Engine { return newCAMPS(cfg.CAMPS, ctx) },
+	}))
+	assert(CAMPSMOD, Register("CAMPS-MOD", Descriptor{
+		Doc:    "CAMPS with the utilization+recency buffer policy",
+		Paper:  true,
+		Policy: pfbuffer.UtilRecency,
+		New:    func(cfg config.Config, ctx Context) Engine { return newCAMPS(cfg.CAMPS, ctx) },
+	}))
+	assert(None, Register("NONE", Descriptor{
+		Doc:    "prefetching disabled (unmodified HMC)",
+		Policy: pfbuffer.LRU,
+		New:    func(config.Config, Context) Engine { return newNone() },
+	}))
+	assert(ASD, Register("ASD", Descriptor{
+		Doc:    "row-granularity adaptive stream detection",
+		Policy: pfbuffer.LRU,
+		New:    func(_ config.Config, ctx Context) Engine { return newASD(ctx) },
+	}))
+	assert(GHB, Register("ghb", Descriptor{
+		Doc:    "GHB/AIT width prefetcher over row activations",
+		Policy: pfbuffer.LRU,
+		Knobs: []Knob{
+			{Name: "ghb.width", Help: "ghb history occurrences consulted per trigger",
+				Apply: func(c *config.Config, v int64) { c.GHB.Width = int(v) }},
+			{Name: "ghb.degree", Help: "ghb successors predicted per occurrence",
+				Apply: func(c *config.Config, v int64) { c.GHB.Degree = int(v) }},
+		},
+		New: func(cfg config.Config, ctx Context) Engine { return newGHB(cfg.GHB, ctx) },
+	}))
+	assert(SISB, Register("sisb", Descriptor{
+		Doc:    "temporal next-row prediction, bounded training table",
+		Policy: pfbuffer.LRU,
+		Knobs: []Knob{
+			{Name: "sisb.entries", Help: "sisb successor-table capacity",
+				Apply: func(c *config.Config, v int64) { c.SISB.TableEntries = int(v) }},
+			{Name: "sisb.degree", Help: "sisb chained predictions per trigger",
+				Apply: func(c *config.Config, v int64) { c.SISB.Degree = int(v) }},
+		},
+		New: func(cfg config.Config, ctx Context) Engine { return newSISB(cfg.SISB, ctx) },
+	}))
+	assert(BestOffset, Register("bestoffset", Descriptor{
+		Doc:     "best-offset prefetch: offset scoring rounds at row granularity",
+		Aliases: []string{"best-offset"},
+		Policy:  pfbuffer.LRU,
+		Knobs: []Knob{
+			{Name: "bo.rounds", Help: "bestoffset scoring rounds per learning phase",
+				Apply: func(c *config.Config, v int64) { c.BestOffset.RoundMax = int(v) }},
+			{Name: "bo.rr", Help: "bestoffset recent-request table entries (power of two)",
+				Apply: func(c *config.Config, v int64) { c.BestOffset.RREntries = int(v) }},
+		},
+		New: func(cfg config.Config, ctx Context) Engine { return newBestOffset(cfg.BestOffset, ctx) },
+	}))
+	assert(Hybrid, Register("hybrid", Descriptor{
+		Doc:    "set-duels registered engines per vault at epoch granularity",
+		Meta:   true,
+		Policy: pfbuffer.LRU,
+		Knobs: []Knob{
+			{Name: "hybrid.epoch", Help: "hybrid duel epoch in demand requests",
+				Apply: func(c *config.Config, v int64) { c.Hybrid.EpochRequests = int(v) }},
+		},
+		New: func(cfg config.Config, ctx Context) Engine { return newHybrid(cfg, ctx) },
+	}))
+}

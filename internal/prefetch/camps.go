@@ -23,24 +23,20 @@ import (
 // Row-buffer conflict: the displaced row's RUT entry moves to the CT (LRU
 // eviction when full), then the new row is handled as a miss.
 type campsEngine struct {
-	scheme    Scheme
 	ctx       Context
 	rut       *RUT
 	ct        *CT
 	threshold int
 }
 
-func newCAMPS(s Scheme, cfg config.CAMPS, ctx Context) *campsEngine {
+func newCAMPS(cfg config.CAMPS, ctx Context) *campsEngine {
 	return &campsEngine{
-		scheme:    s,
 		ctx:       ctx,
 		rut:       NewRUT(ctx.Banks),
 		ct:        NewCT(cfg.CTEntries),
 		threshold: cfg.UtilThreshold,
 	}
 }
-
-func (e *campsEngine) Scheme() Scheme { return e.scheme }
 
 func (e *campsEngine) OnDemandServed(req Request, state dram.RowState, displacedRow int64) []Fetch {
 	switch state {

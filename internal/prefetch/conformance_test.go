@@ -1,0 +1,240 @@
+package prefetch
+
+// Conformance suite: every registered engine — builtin or third-party —
+// must satisfy the same contract the vault controller relies on. The
+// suite runs New() against the full registry, so registering an engine
+// is enough to put it under test.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"camps/internal/config"
+	"camps/internal/dram"
+	"camps/internal/pfbuffer"
+)
+
+// confStream is a deterministic xorshift64* generator; no math/rand so the
+// suite stays reproducible and simdeterminism-clean.
+type confStream struct{ s uint64 }
+
+func (r *confStream) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// drive feeds engine e a fixed pseudo-random mix of demand serves, buffer
+// hits, and evictions (including evictions of rows the engine never
+// fetched, which the controller emits for poisoned fetches) and returns
+// the concatenated fetch log.
+func drive(e Engine, ctx Context, seed uint64, events int) []Fetch {
+	rng := confStream{s: seed}
+	var log []Fetch
+	for i := 0; i < events; i++ {
+		req := Request{
+			Bank:  int(rng.next() % uint64(ctx.Banks)),
+			Row:   int64(rng.next() % uint64(ctx.RowsPerBank)),
+			Line:  int(rng.next() % uint64(ctx.LinesPerRow)),
+			Write: rng.next()%8 == 0,
+		}
+		switch rng.next() % 16 {
+		case 0:
+			e.OnBufferHit(req)
+		case 1:
+			// Eviction of a row this engine may never have fetched.
+			e.OnEviction(pfbuffer.Eviction{
+				ID:    pfbuffer.RowID{Bank: req.Bank, Row: req.Row},
+				Used:  rng.next()%2 == 0,
+				Late:  rng.next()%4 == 0,
+				Dirty: rng.next()%4 == 0,
+				Util:  int(rng.next() % 16),
+			})
+		default:
+			states := [...]dram.RowState{dram.RowHit, dram.RowHit, dram.RowMiss, dram.RowConflict}
+			st := states[rng.next()%4]
+			displaced := dram.NoRow
+			if st == dram.RowConflict {
+				displaced = int64(rng.next() % uint64(ctx.RowsPerBank))
+			}
+			log = append(log, e.OnDemandServed(req, st, displaced)...)
+		}
+		if eo, ok := e.(EpochObserver); ok && i%257 == 256 {
+			eo.OnEpoch(EpochStats{
+				Demands:       200,
+				BufferHits:    rng.next() % 50,
+				FetchesIssued: rng.next() % 40,
+				UsefulTimely:  rng.next() % 20,
+				UsefulLate:    rng.next() % 5,
+				EvictedUnused: rng.next() % 20,
+			})
+		}
+	}
+	return log
+}
+
+func TestEngineConformance(t *testing.T) {
+	for _, s := range AllSchemes() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			cfg := config.Default()
+			ctx := testCtx(fakeQueue{})
+			e := New(s, cfg, ctx)
+
+			// Fetches stay within the vault's geometry and carry a valid
+			// touched-line bitmap.
+			lineMask := uint64(1)<<uint(ctx.LinesPerRow) - 1
+			log := drive(e, ctx, 0x9e3779b97f4a7c15, 4000)
+			for _, f := range log {
+				if f.Bank < 0 || f.Bank >= ctx.Banks {
+					t.Fatalf("fetch bank %d out of [0,%d)", f.Bank, ctx.Banks)
+				}
+				if f.Row < 0 || f.Row >= ctx.RowsPerBank {
+					t.Fatalf("fetch row %d out of [0,%d)", f.Row, ctx.RowsPerBank)
+				}
+				if f.Touched&^lineMask != 0 {
+					t.Fatalf("fetch touched bitmap %#x exceeds %d lines", f.Touched, ctx.LinesPerRow)
+				}
+			}
+			if s == None && len(log) != 0 {
+				t.Fatalf("NONE issued %d fetches", len(log))
+			}
+
+			// Same seed, fresh engine: identical fetch log.
+			again := drive(New(s, cfg, ctx), ctx, 0x9e3779b97f4a7c15, 4000)
+			if !reflect.DeepEqual(log, again) {
+				t.Fatalf("engine is non-deterministic: %d vs %d fetches", len(log), len(again))
+			}
+
+			// An epoch observer must advertise a positive cadence.
+			if eo, ok := e.(EpochObserver); ok && eo.EpochRequests() <= 0 {
+				t.Fatalf("EpochRequests() = %d, want > 0", eo.EpochRequests())
+			}
+		})
+	}
+}
+
+// TestEvictionOfNeverFetchedRowDoesNotPanic pins the poison-fetch contract:
+// the controller reports evictions (with only the RowID populated) for rows
+// an engine never asked for, and no engine may panic on them.
+func TestEvictionOfNeverFetchedRowDoesNotPanic(t *testing.T) {
+	for _, s := range AllSchemes() {
+		e := New(s, config.Default(), testCtx(fakeQueue{}))
+		for i := 0; i < 64; i++ {
+			e.OnEviction(pfbuffer.Eviction{ID: pfbuffer.RowID{Bank: i % 16, Row: int64(i * 31)}})
+		}
+	}
+}
+
+// TestRegistryExtension registers a throwaway engine and checks that every
+// registry-driven surface — name parsing, listing, knobs, New — picks it up
+// without further wiring. It deliberately uses the public extension path.
+func TestRegistryExtension(t *testing.T) {
+	name := fmt.Sprintf("conformance-probe-%d", len(Names()))
+	s := Register(name, Descriptor{
+		Name:   name,
+		Doc:    "test-only probe engine",
+		Policy: pfbuffer.LRU,
+		Knobs: []Knob{{Name: name + ".knob", Help: "probe knob",
+			Apply: func(cfg *config.Config, v int64) {}}},
+		New: func(cfg config.Config, ctx Context) Engine { return newNone() },
+	})
+	got, err := ParseScheme(name)
+	if err != nil || got != s {
+		t.Fatalf("ParseScheme(%q) = %v, %v", name, got, err)
+	}
+	if s.String() != name {
+		t.Fatalf("String() = %q, want %q", s.String(), name)
+	}
+	found := false
+	for _, n := range Names() {
+		if n == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Names() does not list %q", name)
+	}
+	found = false
+	for _, k := range EngineKnobs() {
+		if k.Name == name+".knob" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("EngineKnobs() does not list the probe knob")
+	}
+	if e := New(s, config.Default(), testCtx(nil)); e == nil {
+		t.Fatal("New returned nil for registered probe")
+	}
+	// Probe stays out of the paper figure set.
+	for _, ps := range Schemes() {
+		if ps == s {
+			t.Fatal("probe leaked into Schemes()")
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndNilFactory(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("duplicate name", func() {
+		Register("mmd", Descriptor{Name: "mmd",
+			New: func(config.Config, Context) Engine { return newNone() }})
+	})
+	mustPanic("duplicate alias", func() {
+		Register("probe-alias-dup", Descriptor{Name: "probe-alias-dup",
+			Aliases: []string{"Best-Offset"},
+			New:     func(config.Config, Context) Engine { return newNone() }})
+	})
+	mustPanic("nil factory", func() {
+		Register("probe-nil-new", Descriptor{Name: "probe-nil-new"})
+	})
+	mustPanic("empty name", func() {
+		Register("", Descriptor{New: func(config.Config, Context) Engine { return newNone() }})
+	})
+}
+
+func TestParseSchemeErrorListsAllNames(t *testing.T) {
+	_, err := ParseScheme("definitely-not-registered")
+	if err == nil {
+		t.Fatal("ParseScheme accepted an unknown name")
+	}
+	for _, n := range []string{"BASE", "CAMPS-MOD", "ghb", "sisb", "bestoffset", "hybrid"} {
+		if !containsSub(err.Error(), n) {
+			t.Fatalf("error %q does not enumerate %q", err, n)
+		}
+	}
+}
+
+func containsSub(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestValidateConfigRejectsBadHybridCandidates(t *testing.T) {
+	cfg := config.Default()
+	if err := ValidateConfig(cfg); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	cfg.Hybrid.Candidates = []string{"MMD", "nope"}
+	if err := ValidateConfig(cfg); err == nil {
+		t.Fatal("unknown hybrid candidate accepted")
+	}
+	cfg.Hybrid.Candidates = []string{"hybrid"}
+	if err := ValidateConfig(cfg); err == nil {
+		t.Fatal("meta-engine accepted as its own candidate")
+	}
+}

@@ -16,19 +16,16 @@ import (
 // touches (evidence of spatial locality), the engine copies it to the
 // prefetch buffer — leaving the row open, because unlike CAMPS this scheme
 // is not conflict-aware — and, at degrees above one, also fetches the
-// following rows of the bank. Usefulness feedback is epoch-based: every
-// EpochRequests demand requests the observed accuracy of evicted prefetches
-// moves the degree up or down; a degree of zero disables prefetching until
-// a probe epoch re-enables it.
+// following rows of the bank. Usefulness feedback arrives through the
+// EpochObserver hook: every EpochRequests demand requests the controller
+// hands over the epoch's eviction outcomes, and the observed accuracy moves
+// the degree up or down; a degree of zero disables prefetching until a
+// probe epoch re-enables it.
 type mmdEngine struct {
 	ctx    Context
 	cfg    config.MMD
 	degree int
 	touch  *RUT // per-bank distinct-line counting of the open row
-
-	requests    int
-	evicted     uint64
-	evictedUsed uint64
 }
 
 func newMMD(cfg config.MMD, ctx Context) *mmdEngine {
@@ -40,17 +37,11 @@ func newMMD(cfg config.MMD, ctx Context) *mmdEngine {
 	}
 }
 
-func (e *mmdEngine) Scheme() Scheme { return MMD }
-
 // Degree returns the current prefetch degree (exported for tests and the
 // ablation benches).
 func (e *mmdEngine) Degree() int { return e.degree }
 
 func (e *mmdEngine) OnDemandServed(req Request, state dram.RowState, _ int64) []Fetch {
-	e.requests++
-	if e.requests >= e.cfg.EpochRequests {
-		e.adapt()
-	}
 	if state != dram.RowHit {
 		// A new row occupies the row buffer; restart its touch history.
 		e.touch.Displace(req.Bank)
@@ -77,28 +68,30 @@ func (e *mmdEngine) OnDemandServed(req Request, state dram.RowState, _ int64) []
 
 func (e *mmdEngine) OnBufferHit(Request) {}
 
-func (e *mmdEngine) OnEviction(ev pfbuffer.Eviction) {
-	e.evicted++
-	if ev.Used {
-		e.evictedUsed++
-	}
-}
+func (e *mmdEngine) OnEviction(pfbuffer.Eviction) {}
 
-// adapt applies the usefulness feedback and starts a new epoch.
-func (e *mmdEngine) adapt() {
-	e.requests = 0
-	if e.evicted == 0 {
+// EpochRequests implements EpochObserver: the feedback epoch length.
+func (e *mmdEngine) EpochRequests() int { return e.cfg.EpochRequests }
+
+// OnEpoch applies the usefulness feedback. The controller's eviction
+// classification reconstructs the engine's historical counters exactly:
+// used = timely + late, evicted = used + unused (the fetch-queue-drop
+// ConflictVictims never reached the buffer and never counted as evictions
+// here).
+func (e *mmdEngine) OnEpoch(st EpochStats) {
+	used := st.UsefulTimely + st.UsefulLate
+	evicted := used + st.EvictedUnused
+	if evicted == 0 {
 		if e.degree == 0 {
 			e.degree = 1 // probe: re-enable to gather fresh evidence
 		}
 		return
 	}
-	acc := float64(e.evictedUsed) / float64(e.evicted)
+	acc := float64(used) / float64(evicted)
 	switch {
 	case acc >= e.cfg.HighAccuracy && e.degree < e.cfg.MaxDegree:
 		e.degree++
 	case acc < e.cfg.LowAccuracy && e.degree > 0:
 		e.degree--
 	}
-	e.evicted, e.evictedUsed = 0, 0
 }

@@ -13,8 +13,6 @@ type noneEngine struct{}
 
 func newNone() noneEngine { return noneEngine{} }
 
-func (noneEngine) Scheme() Scheme { return None }
-
 func (noneEngine) OnDemandServed(Request, dram.RowState, int64) []Fetch { return nil }
 
 func (noneEngine) OnBufferHit(Request) {}

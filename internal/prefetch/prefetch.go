@@ -1,7 +1,10 @@
 // Package prefetch implements the memory-side prefetch engines compared in
-// the CAMPS paper. Every engine lives in a vault controller, observes the
-// demand stream to that vault's banks, and directs whole-row fetches into
-// the vault's prefetch buffer:
+// the CAMPS paper, plus extension engines, behind an open string-keyed
+// registry (see registry.go). Every engine lives in a vault controller,
+// observes the demand stream to that vault's banks, and directs whole-row
+// fetches into the vault's prefetch buffer.
+//
+// The built-in engines (builtins.go):
 //
 //   - BASE: fetch the whole row on the first access to it (and precharge),
 //     the paper's aggressive baseline.
@@ -14,85 +17,19 @@
 //     Table (RUT) and Conflict Table (CT).
 //   - CAMPS-MOD: CAMPS plus the utilization+recency buffer replacement
 //     policy (the policy itself lives in package pfbuffer).
+//   - NONE: prefetching disabled (the unmodified HMC).
+//   - ASD: row-granularity Adaptive Stream Detection (Hur & Lin [10]).
+//   - ghb: GHB/AIT width prefetcher over the row-activation stream.
+//   - sisb: temporal next-address prediction with a bounded training table.
+//   - bestoffset: Best-Offset offset scoring at row granularity.
+//   - hybrid: set-duels registered engines per vault at epoch granularity.
 package prefetch
 
 import (
-	"fmt"
-
 	"camps/internal/config"
 	"camps/internal/dram"
 	"camps/internal/pfbuffer"
 )
-
-// Scheme names one of the five evaluated prefetching schemes.
-type Scheme int
-
-const (
-	// Base prefetches a whole row on every first access.
-	Base Scheme = iota
-	// BaseHit prefetches a row with >= 2 pending read-queue requests.
-	BaseHit
-	// MMD adapts prefetch degree to usefulness, LRU buffer.
-	MMD
-	// CAMPS is conflict-aware prefetching with LRU buffer management.
-	CAMPS
-	// CAMPSMOD is CAMPS with utilization+recency buffer management.
-	CAMPSMOD
-	// None disables prefetching entirely — the unmodified HMC, a reference
-	// point beyond the paper's five compared schemes.
-	None
-	// ASD is a row-granularity adaptation of Hur & Lin's Adaptive Stream
-	// Detection (the paper's related work [10]); an extension scheme.
-	ASD
-)
-
-// Schemes lists the paper's five compared schemes in presentation order.
-func Schemes() []Scheme { return []Scheme{Base, BaseHit, MMD, CAMPS, CAMPSMOD} }
-
-// AllSchemes lists every available scheme, including the no-prefetch
-// reference and the ASD extension.
-func AllSchemes() []Scheme { return append(Schemes(), None, ASD) }
-
-// String returns the paper's name for the scheme.
-func (s Scheme) String() string {
-	switch s {
-	case Base:
-		return "BASE"
-	case BaseHit:
-		return "BASE-HIT"
-	case MMD:
-		return "MMD"
-	case CAMPS:
-		return "CAMPS"
-	case CAMPSMOD:
-		return "CAMPS-MOD"
-	case None:
-		return "NONE"
-	case ASD:
-		return "ASD"
-	}
-	return fmt.Sprintf("Scheme(%d)", int(s))
-}
-
-// ParseScheme converts a scheme name (as printed by String) back to a
-// Scheme value.
-func ParseScheme(name string) (Scheme, error) {
-	for _, s := range AllSchemes() {
-		if s.String() == name {
-			return s, nil
-		}
-	}
-	return 0, fmt.Errorf("prefetch: unknown scheme %q", name)
-}
-
-// BufferPolicy returns the prefetch-buffer replacement policy the scheme
-// uses: only CAMPS-MOD uses the utilization+recency policy.
-func (s Scheme) BufferPolicy() pfbuffer.Policy {
-	if s == CAMPSMOD {
-		return pfbuffer.UtilRecency
-	}
-	return pfbuffer.LRU
-}
 
 // Request describes one demand access as seen by a vault controller.
 type Request struct {
@@ -115,7 +52,8 @@ type Fetch struct {
 	CloseAfter bool
 	// Touched is the bitmap of lines already served from the DRAM row
 	// buffer before this fetch (the trigger accesses); it seeds the
-	// prefetch-buffer entry's utilization counter.
+	// prefetch-buffer entry's utilization counter. It bounds LinesPerRow
+	// at 64, which config.Validate enforces (config.ErrLineBitmap).
 	Touched uint64
 }
 
@@ -136,10 +74,9 @@ type Context struct {
 
 // Engine is a memory-side prefetch engine. Engines are single-vault and are
 // driven synchronously by the vault controller's event loop, so they need
-// no internal locking.
+// no internal locking. Engines may additionally implement EpochObserver to
+// receive controller-maintained efficacy feedback at a fixed request cadence.
 type Engine interface {
-	// Scheme identifies the engine.
-	Scheme() Scheme
 	// OnDemandServed fires when a demand request has been serviced from a
 	// DRAM bank (not the prefetch buffer). state is the row-buffer outcome
 	// the request saw; displacedRow is the row that was closed to make room
@@ -154,22 +91,55 @@ type Engine interface {
 	OnEviction(ev pfbuffer.Eviction)
 }
 
-// New constructs the engine for a scheme using the given configuration and
-// vault context.
+// EpochStats is the per-epoch efficacy feedback the vault controller hands
+// an EpochObserver engine. The eviction-outcome fields use the prefetch
+// ledger's taxonomy (obs.PrefetchOutcome) but are tracked by the controller
+// itself, so they are available whether or not attribution is enabled.
+type EpochStats struct {
+	Demands       uint64 // demand requests served from banks this epoch
+	BufferHits    uint64 // demand requests served by the prefetch buffer
+	FetchesIssued uint64 // row fetches the controller started
+
+	UsefulTimely    uint64 // evicted rows used, resident before first demand
+	UsefulLate      uint64 // evicted rows used, but a demand beat the fill
+	EvictedUnused   uint64 // evicted rows never referenced
+	ConflictVictims uint64 // fetch directives dropped before residency
+}
+
+// EpochObserver is the optional adaptation hook: engines that implement it
+// receive OnEpoch every EpochRequests demand requests, immediately before
+// the triggering request's own OnDemandServed. This is the adaptation point
+// MMD previously buried internally and the signal the hybrid meta-engine
+// duels candidates on.
+type EpochObserver interface {
+	// EpochRequests returns the epoch length in demand requests.
+	EpochRequests() int
+	// OnEpoch receives the finished epoch's accumulated stats.
+	OnEpoch(st EpochStats)
+}
+
+// New constructs the engine registered for the scheme using the given
+// configuration and vault context. It panics on an unregistered scheme;
+// use Lookup/ParseScheme to validate names first.
 func New(s Scheme, cfg config.Config, ctx Context) Engine {
-	switch s {
-	case Base:
-		return newBase(ctx)
-	case BaseHit:
-		return newBaseHit(ctx)
-	case MMD:
-		return newMMD(cfg.MMD, ctx)
-	case CAMPS, CAMPSMOD:
-		return newCAMPS(s, cfg.CAMPS, ctx)
-	case None:
-		return newNone()
-	case ASD:
-		return newASD(ctx)
-	}
-	panic(fmt.Sprintf("prefetch: unknown scheme %d", int(s)))
+	return Describe(s).New(cfg, ctx)
+}
+
+// rowKey packs (bank, row) into one comparable key for the history-based
+// engines. Rows per bank is bounded far below 2^40 in any valid geometry.
+func rowKey(bank int, row int64) int64 { return int64(bank)<<40 | row }
+
+// rowKeyBank and rowKeyRow unpack a rowKey.
+func rowKeyBank(k int64) int { return int(k >> 40) }
+func rowKeyRow(k int64) int64 { return k & (1<<40 - 1) }
+
+// mix64 is a splitmix64-style finalizer used to hash table indices; fixed
+// constants keep every run deterministic.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
 }

@@ -1,0 +1,180 @@
+package prefetch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"camps/internal/config"
+	"camps/internal/pfbuffer"
+)
+
+// Scheme identifies a registered prefetch engine. Values are assigned in
+// registration order, so the built-in schemes keep their historical numeric
+// identities (BASE = 0 ... ASD = 6) and exported results remain stable.
+type Scheme int
+
+// Knob is one integer configuration parameter an engine exposes for
+// parameter sweeps; campsweep lists and applies these by name.
+type Knob struct {
+	Name  string
+	Help  string
+	Apply func(c *config.Config, v int64)
+}
+
+// Descriptor describes a registered engine: its factory, the buffer
+// replacement policy it requires (the capability that replaced the old
+// Scheme.BufferPolicy method), and its sweepable config knobs.
+type Descriptor struct {
+	// Name is the canonical spelling, set by Register.
+	Name string
+	// Doc is a one-line description for listings.
+	Doc string
+	// Aliases are additional accepted spellings (Lookup/ParseScheme).
+	Aliases []string
+	// Paper marks the five schemes compared in the paper (Schemes()).
+	Paper bool
+	// Meta marks engines that delegate to other registered engines (the
+	// hybrid); meta engines cannot themselves be hybrid candidates.
+	Meta bool
+	// Policy is the prefetch-buffer replacement policy the engine needs.
+	Policy pfbuffer.Policy
+	// Knobs are the engine's sweepable configuration parameters.
+	Knobs []Knob
+	// New constructs the engine for one vault.
+	New func(cfg config.Config, ctx Context) Engine
+}
+
+// The registry is append-only and populated from init (builtins.go) or
+// test code; the simulator never mutates it mid-run, so no locking.
+var (
+	regDescs  []Descriptor
+	regByName = map[string]Scheme{}
+)
+
+// Register adds an engine under a canonical name and returns its Scheme
+// value (its registration index). Names are case-insensitive and must be
+// unique across canonical names and aliases; registration happens from
+// deterministic paths only (the pfregister lint analyzer enforces constant
+// literal names not registered from map iteration). Register panics on a
+// duplicate or empty name or a nil factory: those are programmer errors at
+// package init time.
+func Register(name string, d Descriptor) Scheme {
+	if name == "" {
+		panic("prefetch: Register with empty name")
+	}
+	if d.New == nil {
+		panic(fmt.Sprintf("prefetch: Register(%q) with nil factory", name))
+	}
+	d.Name = name
+	s := Scheme(len(regDescs))
+	for _, spelling := range append([]string{name}, d.Aliases...) {
+		key := strings.ToLower(spelling)
+		if prev, dup := regByName[key]; dup {
+			panic(fmt.Sprintf("prefetch: Register(%q): spelling %q already names %s",
+				name, spelling, prev))
+		}
+		regByName[key] = s
+	}
+	regDescs = append(regDescs, d)
+	return s
+}
+
+// Lookup resolves a scheme name (canonical or alias, case-insensitive).
+func Lookup(name string) (Scheme, bool) {
+	s, ok := regByName[strings.ToLower(name)]
+	return s, ok
+}
+
+// Describe returns the descriptor registered for the scheme; it panics on
+// an unregistered value (use Lookup to validate names first).
+func Describe(s Scheme) Descriptor {
+	if s < 0 || int(s) >= len(regDescs) {
+		panic(fmt.Sprintf("prefetch: unregistered scheme %d", int(s)))
+	}
+	return regDescs[s]
+}
+
+// Names lists every canonical engine name in registration order (which is
+// deterministic: builtins register sequentially, never from a map).
+func Names() []string {
+	names := make([]string, len(regDescs))
+	for i := range regDescs {
+		names[i] = regDescs[i].Name
+	}
+	return names
+}
+
+// Schemes lists the paper's five compared schemes in presentation order.
+func Schemes() []Scheme {
+	var out []Scheme
+	for i := range regDescs {
+		if regDescs[i].Paper {
+			out = append(out, Scheme(i))
+		}
+	}
+	return out
+}
+
+// AllSchemes lists every registered scheme in registration order.
+func AllSchemes() []Scheme {
+	out := make([]Scheme, len(regDescs))
+	for i := range out {
+		out[i] = Scheme(i)
+	}
+	return out
+}
+
+// String returns the engine's canonical name.
+func (s Scheme) String() string {
+	if s >= 0 && int(s) < len(regDescs) {
+		return regDescs[s].Name
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// ParseScheme resolves a scheme name (as printed by String, or any
+// registered alias, case-insensitively) to its Scheme value. The error for
+// an unknown name enumerates every registered canonical name, sorted.
+func ParseScheme(name string) (Scheme, error) {
+	if s, ok := Lookup(name); ok {
+		return s, nil
+	}
+	return 0, fmt.Errorf("prefetch: unknown scheme %q (registered: %s)",
+		name, strings.Join(sortedNames(), ", "))
+}
+
+// sortedNames returns the canonical names in sorted order for error text
+// and listings.
+func sortedNames() []string {
+	names := Names()
+	sort.Strings(names)
+	return names
+}
+
+// EngineKnobs returns every registered engine's sweep knobs in
+// registration order.
+func EngineKnobs() []Knob {
+	var out []Knob
+	for i := range regDescs {
+		out = append(out, regDescs[i].Knobs...)
+	}
+	return out
+}
+
+// ValidateConfig checks the parts of the configuration that reference the
+// registry — currently that every hybrid candidate names a registered,
+// non-meta engine. camps.RunContext calls this alongside config.Validate.
+func ValidateConfig(cfg config.Config) error {
+	for _, name := range cfg.Hybrid.Candidates {
+		s, ok := Lookup(name)
+		if !ok {
+			return fmt.Errorf("prefetch: hybrid candidate %q is not a registered engine (registered: %s)",
+				name, strings.Join(sortedNames(), ", "))
+		}
+		if Describe(s).Meta {
+			return fmt.Errorf("prefetch: hybrid candidate %q is a meta-engine", name)
+		}
+	}
+	return nil
+}

@@ -49,10 +49,22 @@ type Controller struct {
 	eng    *sim.Engine
 	cfg    config.Config
 	id     int
+	scheme prefetch.Scheme
 	banks  []*dram.Bank
 	busy   []sim.Time // per-bank: time the current job releases the bank
 	buffer *pfbuffer.Buffer
 	pf     prefetch.Engine
+
+	// Epoch feedback for engines implementing prefetch.EpochObserver (nil
+	// otherwise; every field below then stays untouched). The controller
+	// counts demand requests and classifies buffer evictions itself —
+	// independent of the attribution ledger, which is optional — and hands
+	// the engine a fresh EpochStats every epochPeriod demands, immediately
+	// before the triggering request's OnDemandServed.
+	epochObs    prefetch.EpochObserver
+	epochPeriod int
+	epochReq    int
+	epochAcc    prefetch.EpochStats
 
 	// Request queues hold value-type nodes: enqueue/dequeue move small
 	// structs inside preallocated backing arrays instead of allocating a
@@ -135,9 +147,10 @@ func New(eng *sim.Engine, cfg config.Config, scheme prefetch.Scheme, id int) *Co
 		eng:         eng,
 		cfg:         cfg,
 		id:          id,
+		scheme:      scheme,
 		banks:       make([]*dram.Bank, nbanks),
 		busy:        make([]sim.Time, nbanks),
-		buffer:      pfbuffer.New(cfg.PFBuffer.Entries(), cfg.LinesPerRow(), scheme.BufferPolicy()),
+		buffer:      pfbuffer.New(cfg.PFBuffer.Entries(), cfg.LinesPerRow(), prefetch.Describe(scheme).Policy),
 		pfHitLat:    cfg.CPUClock().Cycles(cfg.PFBuffer.HitLatency),
 		lines:       cfg.LinesPerRow(),
 		maxFetchQ:   4 * nbanks,
@@ -180,6 +193,10 @@ func New(eng *sim.Engine, cfg config.Config, scheme prefetch.Scheme, id int) *Co
 		RowsPerBank: int64(cfg.HMC.RowsPerBank),
 		Queue:       (*queueView)(c),
 	})
+	if eo, ok := c.pf.(prefetch.EpochObserver); ok {
+		c.epochObs = eo
+		c.epochPeriod = eo.EpochRequests()
+	}
 	return c
 }
 
@@ -285,7 +302,51 @@ func (c *Controller) chargeWait(ref obs.SpanRef, b int, arrived, now sim.Time) {
 func (c *Controller) ID() int { return c.id }
 
 // Scheme returns the active prefetch scheme.
-func (c *Controller) Scheme() prefetch.Scheme { return c.pf.Scheme() }
+func (c *Controller) Scheme() prefetch.Scheme { return c.scheme }
+
+// tickEpoch advances the engine's feedback epoch by one demand request,
+// closing the epoch — hand over and reset the accumulated stats — when the
+// period is reached. Called immediately before each OnDemandServed, so the
+// triggering request lands in the *new* epoch, matching MMD's historical
+// count-then-adapt ordering exactly.
+func (c *Controller) tickEpoch() {
+	if c.epochObs == nil {
+		return
+	}
+	c.epochReq++
+	if c.epochReq >= c.epochPeriod {
+		c.epochReq = 0
+		st := c.epochAcc
+		c.epochAcc = prefetch.EpochStats{}
+		c.epochObs.OnEpoch(st)
+	}
+	c.epochAcc.Demands++
+}
+
+// noteBufferHit feeds a prefetch-buffer hit into the epoch accumulator.
+func (c *Controller) noteBufferHit() {
+	if c.epochObs != nil {
+		c.epochAcc.BufferHits++
+	}
+}
+
+// feedEviction classifies a buffer eviction for the epoch accumulator
+// (the ledger's taxonomy: used-and-never-late is timely, used is late,
+// untouched is unused) and forwards it to the engine. Every eviction the
+// engine sees flows through here.
+func (c *Controller) feedEviction(ev pfbuffer.Eviction) {
+	if c.epochObs != nil {
+		switch {
+		case ev.Used && !ev.Late:
+			c.epochAcc.UsefulTimely++
+		case ev.Used:
+			c.epochAcc.UsefulLate++
+		default:
+			c.epochAcc.EvictedUnused++
+		}
+	}
+	c.pf.OnEviction(ev)
+}
 
 // Stats returns the controller's statistics. CollectOps must be called
 // first to fold in per-bank operation counts.
@@ -307,7 +368,7 @@ func (c *Controller) CollectOps() {
 // it, and dirty rows count as writebacks.
 func (c *Controller) Flush() {
 	for _, ev := range c.buffer.Flush() {
-		c.pf.OnEviction(ev)
+		c.feedEviction(ev)
 		if ev.Dirty {
 			c.stats.RowWritebacks.Inc()
 		}
@@ -334,6 +395,7 @@ func (c *Controller) Submit(req Request) {
 	id := pfbuffer.RowID{Bank: req.Bank, Row: req.Row}
 	if c.buffer.Lookup(id, req.Line, req.Write, now) {
 		c.stats.BufferHits.Inc()
+		c.noteBufferHit()
 		c.emit(obs.EvPrefetchHit, now, req.Bank, req.Row, int64(req.Line))
 		c.pf.OnBufferHit(prefetch.Request{Bank: req.Bank, Row: req.Row, Line: req.Line, Write: req.Write})
 		c.spans.AdvanceTo(req.Span, obs.CausePFBufferHit, int64(now+c.pfHitLat))
@@ -411,6 +473,9 @@ func (c *Controller) enqueueFetches(fs []prefetch.Fetch) {
 			// Squeezed out of the queue by bank pressure before it could
 			// ever become resident: a conflict victim in the ledger.
 			c.ledger.Record(c.id, obs.ConflictVictim)
+			if c.epochObs != nil {
+				c.epochAcc.ConflictVictims++
+			}
 			c.emit(obs.EvPrefetchDrop, c.eng.Now(), old.Bank, old.Row, 0)
 		}
 		c.fetchQ = append(c.fetchQ, f)
@@ -574,6 +639,7 @@ func (c *Controller) takeRead(b int, now sim.Time) (pending, bool) {
 		id := pfbuffer.RowID{Bank: p.req.Bank, Row: p.req.Row}
 		if c.buffer.Lookup(id, p.req.Line, p.req.Write, now) {
 			c.stats.BufferHits.Inc()
+			c.noteBufferHit()
 			c.emit(obs.EvPrefetchHit, now, p.req.Bank, p.req.Row, int64(p.req.Line))
 			c.pf.OnBufferHit(prefetch.Request{Bank: p.req.Bank, Row: p.req.Row, Line: p.req.Line, Write: p.req.Write})
 			c.chargeWait(p.req.Span, b, p.arrived, now)
@@ -711,6 +777,7 @@ func (c *Controller) runRead(b int, now sim.Time, p pending) {
 	}
 	c.spans.AdvanceTo(p.req.Span, obs.CauseService, int64(dataDone))
 	c.complete(p.req, p.arrived, dataDone)
+	c.tickEpoch()
 	fetches := c.pf.OnDemandServed(
 		prefetch.Request{Bank: p.req.Bank, Row: p.req.Row, Line: p.req.Line, Write: false},
 		state, displaced)
@@ -743,6 +810,7 @@ func (c *Controller) runWrite(b int, now sim.Time, p pending) {
 	id := pfbuffer.RowID{Bank: p.req.Bank, Row: p.req.Row}
 	if c.buffer.Lookup(id, p.req.Line, true, now) {
 		c.stats.BufferHits.Inc()
+		c.noteBufferHit()
 		c.emit(obs.EvPrefetchHit, now, p.req.Bank, p.req.Row, int64(p.req.Line))
 		c.pf.OnBufferHit(prefetch.Request{Bank: p.req.Bank, Row: p.req.Row, Line: p.req.Line, Write: true})
 		c.schedule()
@@ -754,6 +822,7 @@ func (c *Controller) runWrite(b int, now sim.Time, p pending) {
 	c.busy[b] = end
 	c.recordRowState(state, now, b, p.req.Row)
 	c.stats.WriteBursts.Inc()
+	c.tickEpoch()
 	fetches := c.pf.OnDemandServed(
 		prefetch.Request{Bank: p.req.Bank, Row: p.req.Row, Line: p.req.Line, Write: true},
 		state, displaced)
@@ -799,6 +868,9 @@ func (c *Controller) runInlineFetch(b int, f prefetch.Fetch) {
 		c.busy[b] = release
 	}
 	c.stats.FetchesIssued.Inc()
+	if c.epochObs != nil {
+		c.epochAcc.FetchesIssued++
+	}
 	c.emit(obs.EvPrefetchIssue, start, b, f.Row, 1)
 	c.eng.At(end, func() { c.insertFetched(id, f.Touched, end) })
 }
@@ -823,6 +895,9 @@ func (c *Controller) runFetch(b int, now sim.Time, f prefetch.Fetch) bool {
 	}
 	c.busy[b] = release
 	c.stats.FetchesIssued.Inc()
+	if c.epochObs != nil {
+		c.epochAcc.FetchesIssued++
+	}
 	c.emit(obs.EvPrefetchIssue, start, b, f.Row, 0)
 	c.eng.At(end, func() { c.insertFetched(id, f.Touched, end) })
 	c.eng.At(release, c.scheduleFn)
@@ -836,7 +911,7 @@ func (c *Controller) runFetch(b int, now sim.Time, f prefetch.Fetch) bool {
 // is charged with a zero-utilization eviction.
 func (c *Controller) insertFetched(id pfbuffer.RowID, touched uint64, at sim.Time) {
 	if c.faults.PoisonInsert(id.Bank, id.Row, at) {
-		c.pf.OnEviction(pfbuffer.Eviction{ID: id})
+		c.feedEviction(pfbuffer.Eviction{ID: id})
 		// The fetch was spent but no demand can ever use it: pollution in
 		// the ledger, and excluded from buffer accuracy (the row never
 		// became resident).
@@ -916,7 +991,7 @@ func (c *Controller) runRefresh(b int, now sim.Time) {
 // with WritebackDirtyOnly set, only written-to rows go back.
 func (c *Controller) onEviction(ev pfbuffer.Eviction) {
 	c.emit(obs.EvPrefetchEvict, c.eng.Now(), ev.ID.Bank, ev.ID.Row, int64(ev.Util))
-	c.pf.OnEviction(ev)
+	c.feedEviction(ev)
 	if ev.Dirty || !c.cfg.PFBuffer.WritebackDirtyOnly {
 		c.storeQ = append(c.storeQ, ev.ID)
 		c.storeCount[ev.ID.Bank]++
