@@ -1,16 +1,31 @@
 // Command campslint statically enforces the simulator's determinism and
-// concurrency invariants: no wall clock or global RNG in simulation
-// packages, no map-iteration order leaking into results, context
-// threaded through every orchestration entry point, no tick/duration
-// unit mixing, and no unregistered obs metrics.
+// concurrency invariants. Per-package analyzers check that no wall
+// clock or global RNG reaches simulation packages, no map-iteration
+// order leaks into results, context is threaded through every
+// orchestration entry point, ticks never mix with time.Duration, and
+// obs metrics are registered. Whole-program analyzers walk a
+// cross-package call graph (including prefetch.Engine interface
+// dispatch) built from cached per-package facts: shardsafe certifies
+// that vault-controller paths never write shared state or launch
+// goroutines, globalmut that mutable package-level state is written
+// only during init or Register-at-init, and detflow that no
+// nondeterminism source hides behind a cross-package helper called
+// from simulation code.
 //
 // Usage:
 //
-//	campslint [flags] [packages]
+//	campslint [flags] [analyzer,...] [packages]
 //
-// Exit status is 0 when the tree is clean, 1 when there are findings,
-// and 2 on usage or load errors. See docs/LINTING.md for the analyzer
-// catalogue and the //lint:allow-* escape hatches.
+// The analyzer selection may ride as the first positional argument
+// (e.g. `campslint shardsafe,globalmut,detflow ./...`) or via -only.
+// -timing reports load, facts-cache, and per-analyzer wall time;
+// -allow-budget fails the run when //lint:allow-* use exceeds the
+// committed .campslint-budget baseline.
+//
+// Exit status is 0 when the tree is clean, 1 when there are findings
+// or the allow budget is exceeded, and 2 on usage or load errors. See
+// docs/LINTING.md for the analyzer catalogue and the //lint:allow-*
+// escape hatches.
 package main
 
 import (

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -52,6 +53,18 @@ func TestStatsReg(t *testing.T) {
 
 func TestPfRegister(t *testing.T) {
 	runWantTest(t, PfRegister, "pfregister")
+}
+
+func TestShardSafeProgram(t *testing.T) {
+	runProgramWantTest(t, ShardSafe, filepath.Join("testdata", "prog", "shardsafe", "src"))
+}
+
+func TestGlobalMutProgram(t *testing.T) {
+	runProgramWantTest(t, GlobalMut, filepath.Join("testdata", "prog", "globalmut", "src"))
+}
+
+func TestDetFlowProgram(t *testing.T) {
+	runProgramWantTest(t, DetFlow, filepath.Join("testdata", "prog", "detflow", "src"))
 }
 
 func TestCheckDirectivesFlagsUnknownNames(t *testing.T) {

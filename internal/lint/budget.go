@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The allow budget keeps the escape hatch from quietly becoming the
+// door: every //lint:allow-* directive in the tree is counted against a
+// committed baseline (.campslint-budget), and campslint -allow-budget
+// fails when any directive name is used more often than the baseline
+// permits. Adding a suppression therefore requires touching the
+// baseline in the same change — a reviewable, diffable act — and
+// removing suppressions lets the baseline ratchet down.
+
+// budgetViolation is one directive name used beyond its budget.
+type budgetViolation struct {
+	name   string
+	used   int
+	budget int
+}
+
+// parseBudget reads a baseline file: one "<name> <count>" pair per
+// line, where <name> is the directive suffix (e.g. "noctx" for
+// //lint:allow-noctx). Blank lines and #-comments are ignored. Any
+// name not listed has a budget of zero.
+func parseBudget(path string) (map[string]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	budget := make(map[string]int)
+	sc := bufio.NewScanner(f)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"<name> <count>\", got %q", path, lineno, line)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("%s:%d: bad count %q", path, lineno, fields[1])
+		}
+		budget[fields[0]] = n
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return budget, nil
+}
+
+// checkAllowBudget counts every lint directive in the target packages
+// and returns the names used beyond the committed baseline, sorted.
+func checkAllowBudget(path string, pkgs []*Package) ([]budgetViolation, error) {
+	budget, err := parseBudget(path)
+	if err != nil {
+		return nil, err
+	}
+	used := make(map[string]int)
+	for _, pkg := range pkgs {
+		for _, dir := range parseDirectives(pkg.Fset, pkg.Files) {
+			used[dir.name]++
+		}
+	}
+	var out []budgetViolation
+	for name, n := range used {
+		if n > budget[name] {
+			out = append(out, budgetViolation{name: name, used: n, budget: budget[name]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out, nil
+}

@@ -9,6 +9,8 @@ package lint
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -71,14 +73,17 @@ func stdlibExports(t *testing.T) map[string]string {
 }
 
 // testImporter resolves imports for testdata packages: paths that exist
-// under testdata/src are type-checked from those sources (so fakes
+// under the testdata root are type-checked from those sources (so fakes
 // shadow real camps packages); everything else comes from export data.
+// Packages are recorded in completion order — imports finish before
+// their importer, so done is in dependency order, ready for a Program.
 type testImporter struct {
 	fset    *token.FileSet
 	root    string
 	gc      types.Importer
 	pkgs    map[string]*types.Package
 	loading map[string]bool
+	done    []*Package
 }
 
 func (ti *testImporter) Import(path string) (*types.Package, error) {
@@ -104,11 +109,20 @@ func (ti *testImporter) check(path, dir string) (*types.Package, []*ast.File, *t
 		return nil, nil, nil, err
 	}
 	var files []*ast.File
+	hash := sha256.New()
+	fmt.Fprintf(hash, "testdata:%s\n", path)
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
 		}
-		f, perr := parser.ParseFile(ti.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		full := filepath.Join(dir, e.Name())
+		src, rerr := os.ReadFile(full)
+		if rerr != nil {
+			return nil, nil, nil, rerr
+		}
+		fmt.Fprintf(hash, "file:%s:%d\n", e.Name(), len(src))
+		hash.Write(src)
+		f, perr := parser.ParseFile(ti.fset, full, src, parser.ParseComments|parser.SkipObjectResolution)
 		if perr != nil {
 			return nil, nil, nil, perr
 		}
@@ -121,6 +135,15 @@ func (ti *testImporter) check(path, dir string) (*types.Package, []*ast.File, *t
 		return nil, nil, nil, fmt.Errorf("type-checking %s: %w", path, err)
 	}
 	ti.pkgs[path] = pkg
+	ti.done = append(ti.done, &Package{
+		Path:    path,
+		Fset:    ti.fset,
+		Files:   files,
+		Types:   pkg,
+		Info:    info,
+		Target:  true,
+		SrcHash: hex.EncodeToString(hash.Sum(nil)),
+	})
 	return pkg, files, info, nil
 }
 
@@ -149,6 +172,63 @@ func loadTestPackage(t *testing.T, importPath string) *Package {
 		t.Fatalf("loading testdata package %s: %v", importPath, err)
 	}
 	return &Package{Path: importPath, Fset: fset, Files: files, Types: tpkg, Info: info}
+}
+
+// loadTestProgram type-checks every package found under root (a
+// testdata/prog/<name>/src directory) into a Program in dependency
+// order, ready for Summarize/BuildCallGraph/RunProgramAnalyzer. All
+// packages are marked as targets.
+func loadTestProgram(t *testing.T, root string) *Program {
+	t.Helper()
+	exports := stdlibExports(t)
+	fset := token.NewFileSet()
+	ti := &testImporter{
+		fset:    fset,
+		root:    root,
+		pkgs:    make(map[string]*types.Package),
+		loading: make(map[string]bool),
+	}
+	ti.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var paths []string
+	seen := make(map[string]bool)
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), ".go") {
+			return err
+		}
+		rel, rerr := filepath.Rel(root, filepath.Dir(p))
+		if rerr != nil {
+			return rerr
+		}
+		ip := filepath.ToSlash(rel)
+		if !seen[ip] {
+			seen[ip] = true
+			paths = append(paths, ip)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking %s: %v", root, err)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if _, err := ti.Import(p); err != nil {
+			t.Fatalf("loading testdata package %s: %v", p, err)
+		}
+	}
+
+	prog := &Program{Fset: fset, ByPath: make(map[string]*Package, len(ti.done))}
+	for _, pkg := range ti.done {
+		prog.Pkgs = append(prog.Pkgs, pkg)
+		prog.ByPath[pkg.Path] = pkg
+	}
+	return prog
 }
 
 type wantExpectation struct {
@@ -203,19 +283,38 @@ func parseWants(comment string) []string {
 func runWantTest(t *testing.T, a *Analyzer, importPath string) {
 	t.Helper()
 	pkg := loadTestPackage(t, importPath)
-	diags := RunAnalyzer(a, pkg)
+	checkWants(t, []*Package{pkg}, RunAnalyzer(a, pkg))
+}
 
+// runProgramWantTest runs one whole-program analyzer over the multi-
+// package golden program under root and checks its diagnostics against
+// want comments anywhere in the program.
+func runProgramWantTest(t *testing.T, a *Analyzer, root string) {
+	t.Helper()
+	prog := loadTestProgram(t, root)
+	sums := Summarize(prog, nil)
+	graph := BuildCallGraph(prog, sums)
+	checkWants(t, prog.Pkgs, RunProgramAnalyzer(a, prog, sums, graph))
+}
+
+// checkWants matches diagnostics against the want comments of the given
+// packages: every diagnostic must match a want on its line, and every
+// want must be consumed.
+func checkWants(t *testing.T, pkgs []*Package, diags []Diagnostic) {
+	t.Helper()
 	var wants []*wantExpectation
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				pos := pkg.Fset.Position(c.Pos())
-				for _, p := range parseWants(c.Text) {
-					re, err := regexp.Compile(p)
-					if err != nil {
-						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, p, err)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := pkg.Fset.Position(c.Pos())
+					for _, p := range parseWants(c.Text) {
+						re, err := regexp.Compile(p)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, p, err)
+						}
+						wants = append(wants, &wantExpectation{file: pos.Filename, line: pos.Line, re: re, raw: p})
 					}
-					wants = append(wants, &wantExpectation{file: pos.Filename, line: pos.Line, re: re, raw: p})
 				}
 			}
 		}

@@ -35,7 +35,9 @@ import (
 	"strings"
 )
 
-// Analyzer is one named invariant check.
+// Analyzer is one named invariant check. Exactly one of Run (a
+// per-package check) and RunProgram (a whole-program check over the
+// facts layer and call graph) is set.
 type Analyzer struct {
 	// Name identifies the analyzer in output and in the -only flag.
 	Name string
@@ -46,6 +48,10 @@ type Analyzer struct {
 	Allow string
 	// Run reports findings on one package through pass.Reportf.
 	Run func(pass *Pass)
+	// RunProgram reports findings across the whole program through
+	// pass.Report; it sees every module package via the summaries and
+	// the call graph.
+	RunProgram func(pass *ProgramPass)
 }
 
 // Diagnostic is one finding, resolved to a file position.
@@ -77,6 +83,59 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// ProgramPass carries the whole program through one whole-program
+// analyzer: the loaded packages, their summaries (facts), and the call
+// graph joining them.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Sums     *SummarySet
+	Graph    *CallGraph
+
+	diags []Diagnostic
+}
+
+// Report records a finding at an already-resolved position (facts carry
+// token.Position, not token.Pos — they survive serialization).
+func (p *ProgramPass) Report(pos token.Position, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunProgramAnalyzer applies one whole-program analyzer and returns its
+// findings with directives applied program-wide: a reasoned
+// //lint:allow-<name> next to a finding suppresses it even when the
+// finding sits in a dependency package, and a reasonless directive in a
+// target package is itself a finding.
+func RunProgramAnalyzer(a *Analyzer, prog *Program, sums *SummarySet, graph *CallGraph) []Diagnostic {
+	pass := &ProgramPass{Analyzer: a, Prog: prog, Sums: sums, Graph: graph}
+	a.RunProgram(pass)
+
+	var out []Diagnostic
+	for _, d := range pass.diags {
+		if !prog.suppressedAt(d.Pos, a.Allow) {
+			out = append(out, d)
+		}
+	}
+	for _, pkg := range prog.Targets() {
+		for _, dir := range parseDirectives(pkg.Fset, pkg.Files) {
+			if dir.name == a.Allow && dir.reason == "" {
+				out = append(out, Diagnostic{
+					Pos:      pkg.Fset.Position(dir.pos),
+					Analyzer: a.Name,
+					Message: fmt.Sprintf("lint:allow-%s directive needs a reason: //lint:allow-%s <why this is safe>",
+						a.Allow, a.Allow),
+				})
+			}
+		}
+	}
+	sortDiagnostics(out)
+	return out
 }
 
 // directive is one parsed //lint:allow-<name> <reason> comment.

@@ -2,6 +2,8 @@ package lint
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,10 +16,11 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strings"
 )
 
-// Package is one type-checked package under analysis. LoadPackages
+// Package is one type-checked package under analysis. LoadProgram
 // produces these from the build system; tests construct them directly
 // from testdata sources.
 type Package struct {
@@ -28,6 +31,16 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// Target marks packages matched by the load patterns. Dependencies
+	// inside the module are type-checked from source too (so facts and
+	// call-graph edges cross package boundaries with one shared object
+	// identity), but diagnostics are only reported in target packages.
+	Target bool
+
+	// SrcHash is a content hash over the package's source files, the
+	// leaf input of the fact cache's content-addressed keys.
+	SrcHash string
 }
 
 // listPkg is the subset of `go list -json` output the loader consumes.
@@ -44,13 +57,31 @@ type listPkg struct {
 
 // LoadPackages loads, parses, and type-checks every package matching
 // patterns, resolving go commands relative to dir ("" = current
-// directory). It shells out to `go list -export -json -deps`, which
-// compiles the module and yields export data for every dependency; the
-// matched packages themselves are then re-checked from source so the
-// analyzers see syntax trees with full type information. Only the
-// standard library and the current module are involved — no external
-// tooling.
+// directory). It returns only the packages matched by the patterns; use
+// LoadProgram when whole-program facts or the call graph are needed.
 func LoadPackages(dir string, patterns []string) ([]*Package, error) {
+	prog, err := LoadProgram(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return prog.Targets(), nil
+}
+
+// LoadProgram loads, parses, and type-checks the whole program reached
+// from the packages matching patterns, resolving go commands relative to
+// dir ("" = current directory). It shells out to `go list -export -json
+// -deps` exactly once per call — the single build-system round trip of a
+// campslint run — which compiles the module and yields export data for
+// the standard library. Every module package in the dependency closure
+// (not just the matched ones) is then type-checked from source in
+// dependency order, importing module dependencies from the freshly
+// checked packages and the standard library from export data. Sharing
+// one FileSet and one types.Package per path gives cross-package object
+// identity: a *types.Func seen at a call site in one package is the same
+// object as its definition in another, which is what the facts layer and
+// the call graph key on. Only the standard library and the current
+// module are involved — no external tooling.
+func LoadProgram(dir string, patterns []string) (*Program, error) {
 	args := append([]string{
 		"list", "-export",
 		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly,Error",
@@ -70,7 +101,10 @@ func LoadPackages(dir string, patterns []string) ([]*Package, error) {
 	}
 
 	exports := make(map[string]string)
-	var targets []listPkg
+	// `go list -deps` emits packages in dependency order (a package
+	// always follows its dependencies), so checking module packages in
+	// stream order guarantees every module import is already checked.
+	var module []listPkg
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listPkg
@@ -85,25 +119,36 @@ func LoadPackages(dir string, patterns []string) ([]*Package, error) {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly {
-			targets = append(targets, p)
+		if !p.Standard {
+			module = append(module, p)
 		}
 	}
 
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+	byPath := make(map[string]*Package, len(module))
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		f, ok := exports[path]
 		if !ok {
 			return nil, fmt.Errorf("no export data for %q", path)
 		}
 		return os.Open(f)
 	})
+	imp := &programImporter{gc: gc, byPath: byPath}
 
-	pkgs := make([]*Package, 0, len(targets))
-	for _, t := range targets {
+	prog := &Program{Fset: fset, ByPath: byPath}
+	for _, t := range module {
 		files := make([]*ast.File, 0, len(t.GoFiles))
+		hash := sha256.New()
+		fmt.Fprintf(hash, "go:%s\npkg:%s\n", runtime.Version(), t.ImportPath)
 		for _, name := range t.GoFiles {
-			f, perr := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			path := filepath.Join(t.Dir, name)
+			src, rerr := os.ReadFile(path)
+			if rerr != nil {
+				return nil, fmt.Errorf("reading %s: %w", name, rerr)
+			}
+			fmt.Fprintf(hash, "file:%s:%d\n", name, len(src))
+			hash.Write(src)
+			f, perr := parser.ParseFile(fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
 			if perr != nil {
 				return nil, fmt.Errorf("parsing %s: %w", name, perr)
 			}
@@ -115,15 +160,34 @@ func LoadPackages(dir string, patterns []string) ([]*Package, error) {
 		if terr != nil {
 			return nil, fmt.Errorf("type-checking %s: %w", t.ImportPath, terr)
 		}
-		pkgs = append(pkgs, &Package{
-			Path:  t.ImportPath,
-			Fset:  fset,
-			Files: files,
-			Types: tpkg,
-			Info:  info,
-		})
+		pkg := &Package{
+			Path:    t.ImportPath,
+			Fset:    fset,
+			Files:   files,
+			Types:   tpkg,
+			Info:    info,
+			Target:  !t.DepOnly,
+			SrcHash: hex.EncodeToString(hash.Sum(nil)),
+		}
+		byPath[t.ImportPath] = pkg
+		prog.Pkgs = append(prog.Pkgs, pkg)
 	}
-	return pkgs, nil
+	return prog, nil
+}
+
+// programImporter resolves imports during LoadProgram: module packages
+// come from the already-source-checked set (dependency order guarantees
+// they exist), the standard library from export data.
+type programImporter struct {
+	gc     types.Importer
+	byPath map[string]*Package
+}
+
+func (pi *programImporter) Import(path string) (*types.Package, error) {
+	if p, ok := pi.byPath[path]; ok {
+		return p.Types, nil
+	}
+	return pi.gc.Import(path)
 }
 
 // NewInfo allocates a types.Info with every map the analyzers consult.

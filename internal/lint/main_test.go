@@ -114,15 +114,95 @@ func Dump(m map[string]int) {
 	}
 }
 
+func TestMainPositionalAnalyzerSelection(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module scratch\n\ngo 1.22\n",
+		"pkg/a.go": `package pkg
+
+import "fmt"
+
+func Dump(m map[string]int) {
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+`,
+	})
+	// Selection rides as the first positional argument; maporder excluded
+	// means the violation stays silent.
+	code, stdout, stderr := runMain("-C", dir, "tickarith,statsreg", "./...")
+	if code != ExitClean || stdout != "" {
+		t.Errorf("positional selection without maporder: exit = %d, stdout = %q, stderr = %q", code, stdout, stderr)
+	}
+	code, stdout, _ = runMain("-C", dir, "maporder", "./...")
+	if code != ExitFindings || !strings.Contains(stdout, "[maporder]") {
+		t.Errorf("positional maporder: exit = %d, stdout = %q", code, stdout)
+	}
+	// A positional list with an unknown name is a package pattern, not a
+	// selection — go list then fails on it.
+	if code, _, _ := runMain("-C", dir, "maporder,bogus", "./..."); code != ExitUsage {
+		t.Errorf("mixed known/unknown positional list should fall through to go list: exit = %d", code)
+	}
+}
+
+func TestMainTiming(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":   "module scratch\n\ngo 1.22\n",
+		"pkg/a.go": "package pkg\n\nfunc F() int { return 1 }\n",
+	})
+	code, _, stderr := runMain("-C", dir, "-timing", "-fact-cache", "off", "./...")
+	if code != ExitClean {
+		t.Fatalf("-timing run: exit = %d, stderr = %s", code, stderr)
+	}
+	for _, want := range []string{"campslint: load", "facts+callgraph", "shardsafe", "maporder"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("-timing stderr missing %q:\n%s", want, stderr)
+		}
+	}
+}
+
+func TestMainAllowBudget(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module scratch\n\ngo 1.22\n",
+		"pkg/a.go": `package pkg
+
+//lint:allow-noctx scratch helper, caller threads ctx
+func F() int { return 1 }
+`,
+		".campslint-budget": "# directive-name count\nnoctx 1\n",
+	})
+	code, _, stderr := runMain("-C", dir, "-allow-budget", "./...")
+	if code != ExitClean {
+		t.Fatalf("directive within budget: exit = %d, stderr = %s", code, stderr)
+	}
+
+	// Ratchet the baseline down: the same directive now exceeds it.
+	if err := os.WriteFile(filepath.Join(dir, ".campslint-budget"), []byte("noctx 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = runMain("-C", dir, "-allow-budget", "./...")
+	if code != ExitFindings || !strings.Contains(stderr, "allow budget exceeded") {
+		t.Errorf("directive over budget: exit = %d, stderr = %q", code, stderr)
+	}
+
+	// A missing baseline file is a usage error, not silent success.
+	if err := os.Remove(filepath.Join(dir, ".campslint-budget")); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ = runMain("-C", dir, "-allow-budget", "./..."); code != ExitUsage {
+		t.Errorf("missing baseline: exit = %d, want %d", code, ExitUsage)
+	}
+}
+
 // TestMainRealTree is the acceptance gate: the repository itself must be
 // campslint-clean.
 func TestMainRealTree(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping whole-module lint in -short mode")
 	}
-	code, stdout, stderr := runMain("-C", filepath.Join("..", ".."), "./...")
+	code, stdout, stderr := runMain("-C", filepath.Join("..", ".."), "-allow-budget", "./...")
 	if code != ExitClean {
-		t.Fatalf("campslint ./... on the repository: exit = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+		t.Fatalf("campslint -allow-budget ./... on the repository: exit = %d, want %d\nstdout:\n%s\nstderr:\n%s",
 			code, ExitClean, stdout, stderr)
 	}
 }

@@ -77,7 +77,7 @@ func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt, fn ast.Node) {
 				if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
 					continue
 				}
-				if sortedAfter(pass, fn, rs, obj) {
+				if sortedAfter(pass.Info, fn, rs, obj) {
 					continue
 				}
 				pass.Reportf(n.Pos(),
@@ -166,7 +166,7 @@ func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
 // sortedAfter reports whether, later in the same function, obj is passed
 // to a sort or slices call — the collect-then-sort idiom that makes the
 // map-range append deterministic.
-func sortedAfter(pass *Pass, fn ast.Node, rs *ast.RangeStmt, obj types.Object) bool {
+func sortedAfter(info *types.Info, fn ast.Node, rs *ast.RangeStmt, obj types.Object) bool {
 	if fn == nil {
 		return false
 	}
@@ -179,7 +179,7 @@ func sortedAfter(pass *Pass, fn ast.Node, rs *ast.RangeStmt, obj types.Object) b
 		if !ok || call.Pos() < rs.End() {
 			return true
 		}
-		cf := funcOf(pass.Info, call.Fun)
+		cf := funcOf(info, call.Fun)
 		if cf == nil || cf.Pkg() == nil {
 			return true
 		}
@@ -187,7 +187,7 @@ func sortedAfter(pass *Pass, fn ast.Node, rs *ast.RangeStmt, obj types.Object) b
 			return true
 		}
 		for _, arg := range call.Args {
-			if mentionsObject(pass.Info, arg, obj) {
+			if mentionsObject(info, arg, obj) {
 				found = true
 				return false
 			}

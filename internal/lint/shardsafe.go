@@ -1,0 +1,75 @@
+package lint
+
+import "sort"
+
+// shardEntryPkg is the package whose every function is a shard entry
+// point: the vault controller owns exactly the state one worker
+// goroutine will own when the event engine shards vaults across
+// workers, so everything it can reach must stay vault-local.
+const shardEntryPkg = "camps/internal/vault"
+
+// shardApproved are the interfaces allowed to cross a shard boundary.
+// The event engine serializes cross-vault interaction today and will
+// own the epoch barriers of the parallel engine; the observability
+// layer's sinks are the sanctioned metrics/trace egress; the crossbar
+// and serial links (internal/hmc) are the architectural channel between
+// vaults. Calls into these packages are not followed — their internals
+// are each audited on their own terms (see DESIGN.md §9, the
+// shard-isolation contract).
+var shardApproved = map[string]bool{
+	"camps/internal/sim": true,
+	"camps/internal/obs": true,
+	"camps/internal/hmc": true,
+}
+
+// ShardSafe certifies the machine-checked precondition of the parallel
+// event engine: starting from every vault-controller function, each
+// write on the reachable paths must land on receiver-reachable
+// (vault-owned) state — locals, parameters, receivers, and anything
+// hanging off them — or cross through an approved interface package.
+// Two things violate that: a write rooted at a package-level variable
+// (shared by all vaults, hence all future worker goroutines), and a
+// goroutine launched from a vault path (the engine owns all
+// concurrency). Diagnostics name the cross-shard call path.
+var ShardSafe = &Analyzer{
+	Name:       "shardsafe",
+	Doc:        "forbid package-level writes and goroutine launches on vault-controller paths",
+	Allow:      "shardsafe",
+	RunProgram: runShardSafe,
+}
+
+func runShardSafe(pass *ProgramPass) {
+	vault := pass.Sums.ByPkg[shardEntryPkg]
+	if vault == nil {
+		return // program does not include the vault package
+	}
+	entries := make([]string, 0, len(vault.Funcs))
+	for i := range vault.Funcs {
+		entries = append(entries, vault.Funcs[i].Sym)
+	}
+	reached := pass.Graph.Reachable(entries, func(sym string) bool {
+		return shardApproved[symPkg(sym)]
+	})
+
+	syms := make([]string, 0, len(reached))
+	for sym := range reached {
+		syms = append(syms, sym)
+	}
+	sort.Strings(syms)
+	for _, sym := range syms {
+		fn := pass.Sums.Func(sym)
+		if fn == nil || shardApproved[fn.Pkg] {
+			continue
+		}
+		for _, w := range fn.Writes {
+			pass.Report(w.Pos,
+				"cross-shard write on a vault-controller path: %s writes package-level %s (path: %s); vault state must stay vault-owned or cross through sim/obs/hmc (or //lint:allow-shardsafe <reason>)",
+				shortSym(sym), shortSym(w.Target), pathTo(reached, sym))
+		}
+		for _, g := range fn.Gos {
+			pass.Report(g.Pos,
+				"goroutine launched on a vault-controller path in %s (path: %s): the event engine owns all concurrency; sharded vaults must not spawn their own (or //lint:allow-shardsafe <reason>)",
+				shortSym(sym), pathTo(reached, sym))
+		}
+	}
+}

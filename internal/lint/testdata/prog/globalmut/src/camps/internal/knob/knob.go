@@ -1,0 +1,14 @@
+// Package knob is not itself a runtime package, so its functions are
+// not entry points — the write below is only a finding because a
+// simulation package reaches it.
+package knob
+
+var degree int
+
+func init() {
+	degree = 8 // init-time write: sanctioned
+}
+
+func Set(d int) {
+	degree = d // want `package-level knob.degree written outside init: knob.Set is reachable from runtime path sim.Run → knob.Set`
+}

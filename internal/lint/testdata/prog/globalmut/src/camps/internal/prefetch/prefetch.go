@@ -1,0 +1,22 @@
+// Package prefetch mirrors the real registry idiom: package-level state
+// written from init and from a Register-at-init entry point is the
+// sanctioned pattern; the same state written from a runtime entry point
+// is the violation.
+package prefetch
+
+var regNames []string
+
+// Register is init-only by contract; its write is not an entry-set
+// violation (but reaching Register from a runtime path would be).
+func Register(name string) {
+	regNames = append(regNames, name)
+}
+
+func init() {
+	Register("base")
+}
+
+// Reset is an exported runtime entry that illegally clears the registry.
+func Reset() {
+	regNames = nil // want `package-level prefetch.regNames written outside init: prefetch.Reset is reachable from runtime path prefetch.Reset`
+}

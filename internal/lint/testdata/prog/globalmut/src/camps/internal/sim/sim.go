@@ -1,0 +1,9 @@
+package sim
+
+import "camps/internal/knob"
+
+// Run is a simulation entry point; the global write it reaches lives
+// two packages away.
+func Run() {
+	knob.Set(4)
+}

@@ -1,0 +1,10 @@
+// Package sim stands in for the event engine: an approved shard
+// boundary. Its own package-level write is audited on sim's terms, not
+// flagged on the vault path.
+package sim
+
+var queue []uint64
+
+func Post(addr uint64) {
+	queue = append(queue, addr)
+}

@@ -1,0 +1,9 @@
+// Package tally is an innocent-looking helper that hides shared state:
+// every vault calling Bump writes the same package-level map.
+package tally
+
+var counts = map[uint64]int{}
+
+func Bump(addr uint64) {
+	counts[addr]++ // want `cross-shard write on a vault-controller path: tally.Bump writes package-level tally.counts`
+}

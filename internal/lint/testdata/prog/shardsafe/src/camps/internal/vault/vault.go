@@ -1,0 +1,21 @@
+package vault
+
+import (
+	"camps/internal/sim"
+	"camps/internal/tally"
+)
+
+// Controller owns one vault's state — the unit of sharding.
+type Controller struct{ served int }
+
+func (c *Controller) Submit(addr uint64) {
+	c.served++       // receiver-owned: vault-local, fine
+	tally.Bump(addr) // drags a package-level write onto the vault path
+	sim.Post(addr)   // approved crossing: sim internals are not followed
+}
+
+func (c *Controller) Flush() {
+	go c.reset() // want `goroutine launched on a vault-controller path`
+}
+
+func (c *Controller) reset() { c.served = 0 }

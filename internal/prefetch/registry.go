@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"camps/internal/config"
 	"camps/internal/pfbuffer"
@@ -45,9 +46,20 @@ type Descriptor struct {
 	New func(cfg config.Config, ctx Context) Engine
 }
 
-// The registry is append-only and populated from init (builtins.go) or
-// test code; the simulator never mutates it mid-run, so no locking.
+// The registry is append-only and write-once-per-entry: Register runs
+// from package init (builtins.go) or from a test's setup, never from a
+// simulation or serving path — the globalmut analyzer enforces exactly
+// that discipline (Register* is init-context; reaching it from a
+// runtime entry point is a finding). Scheme values are registration
+// indices, so the init-only rule is also what keeps exported results
+// stable: builtins register sequentially from one init function and
+// the historical numeric identities (BASE = 0 ...) never move.
+//
+// The mutex is not for the simulator (which only reads after init); it
+// makes the read side safe against tests that register probe engines
+// at runtime while other tests read the registry under -race.
 var (
+	regMu     sync.RWMutex
 	regDescs  []Descriptor
 	regByName = map[string]Scheme{}
 )
@@ -66,13 +78,17 @@ func Register(name string, d Descriptor) Scheme {
 	if d.New == nil {
 		panic(fmt.Sprintf("prefetch: Register(%q) with nil factory", name))
 	}
+	regMu.Lock()
+	defer regMu.Unlock()
 	d.Name = name
 	s := Scheme(len(regDescs))
 	for _, spelling := range append([]string{name}, d.Aliases...) {
 		key := strings.ToLower(spelling)
 		if prev, dup := regByName[key]; dup {
+			// regDescs is read directly: prev.String() would re-enter the
+			// lock this goroutine already holds.
 			panic(fmt.Sprintf("prefetch: Register(%q): spelling %q already names %s",
-				name, spelling, prev))
+				name, spelling, regDescs[prev].Name))
 		}
 		regByName[key] = s
 	}
@@ -82,6 +98,8 @@ func Register(name string, d Descriptor) Scheme {
 
 // Lookup resolves a scheme name (canonical or alias, case-insensitive).
 func Lookup(name string) (Scheme, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
 	s, ok := regByName[strings.ToLower(name)]
 	return s, ok
 }
@@ -89,6 +107,8 @@ func Lookup(name string) (Scheme, bool) {
 // Describe returns the descriptor registered for the scheme; it panics on
 // an unregistered value (use Lookup to validate names first).
 func Describe(s Scheme) Descriptor {
+	regMu.RLock()
+	defer regMu.RUnlock()
 	if s < 0 || int(s) >= len(regDescs) {
 		panic(fmt.Sprintf("prefetch: unregistered scheme %d", int(s)))
 	}
@@ -98,6 +118,8 @@ func Describe(s Scheme) Descriptor {
 // Names lists every canonical engine name in registration order (which is
 // deterministic: builtins register sequentially, never from a map).
 func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
 	names := make([]string, len(regDescs))
 	for i := range regDescs {
 		names[i] = regDescs[i].Name
@@ -107,6 +129,8 @@ func Names() []string {
 
 // Schemes lists the paper's five compared schemes in presentation order.
 func Schemes() []Scheme {
+	regMu.RLock()
+	defer regMu.RUnlock()
 	var out []Scheme
 	for i := range regDescs {
 		if regDescs[i].Paper {
@@ -118,6 +142,8 @@ func Schemes() []Scheme {
 
 // AllSchemes lists every registered scheme in registration order.
 func AllSchemes() []Scheme {
+	regMu.RLock()
+	defer regMu.RUnlock()
 	out := make([]Scheme, len(regDescs))
 	for i := range out {
 		out[i] = Scheme(i)
@@ -127,6 +153,8 @@ func AllSchemes() []Scheme {
 
 // String returns the engine's canonical name.
 func (s Scheme) String() string {
+	regMu.RLock()
+	defer regMu.RUnlock()
 	if s >= 0 && int(s) < len(regDescs) {
 		return regDescs[s].Name
 	}
@@ -155,6 +183,8 @@ func sortedNames() []string {
 // EngineKnobs returns every registered engine's sweep knobs in
 // registration order.
 func EngineKnobs() []Knob {
+	regMu.RLock()
+	defer regMu.RUnlock()
 	var out []Knob
 	for i := range regDescs {
 		out = append(out, regDescs[i].Knobs...)
