@@ -11,7 +11,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build vet test race orchestration observability lint lint-parallel-readiness lint-tools fuzz-smoke fault-smoke verify bench bench-json bench-check figures clean
+.PHONY: build vet test race orchestration observability serve serve-smoke lint lint-parallel-readiness lint-tools fuzz-smoke fault-smoke verify bench bench-json bench-check figures clean
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,18 @@ orchestration:
 # there cannot hide behind a cached ./... run.
 observability:
 	$(GO) test -race -count=1 ./internal/obs/... ./internal/exp/...
+
+# The serving layer multiplexes tenants, goroutines, and fsync'd state;
+# always race-test it uncached. The suite includes the 2000-job soak
+# storm and the SIGKILL crash-recovery subprocess test (docs/SERVING.md).
+serve:
+	$(GO) test -race -count=1 ./internal/serve/...
+
+# End-to-end daemon self-test: boots an ephemeral campserve, drives a
+# real campaign over HTTP, and verifies completion, SSE terminal events,
+# and byte-identical cache-hit results before draining.
+serve-smoke:
+	$(GO) run ./cmd/campserve -smoke >/dev/null
 
 # campslint enforces the determinism/concurrency invariants (see
 # docs/LINTING.md); -allow-budget holds the //lint:allow-* count to the
@@ -89,7 +101,7 @@ fault-smoke:
 		-faults 'linkcrc=1e-3,stall=1e-4,poison=2e-3,bankfail=100us,bankfor=2us' \
 		-check -timeout 10s >/dev/null
 
-verify: build vet race orchestration observability lint fault-smoke
+verify: build vet race orchestration observability serve lint fault-smoke serve-smoke
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -38,45 +38,6 @@ import (
 	"camps/internal/exp"
 )
 
-// knob describes one sweepable configuration dimension.
-type knob struct {
-	help  string
-	apply func(sys *camps.SystemConfig, v int64)
-}
-
-var knobs = map[string]knob{
-	"buffer": {"prefetch-buffer entries per vault",
-		func(sys *camps.SystemConfig, v int64) {
-			sys.PFBuffer.SizeBytes = v * int64(sys.PFBuffer.LineBytes)
-		}},
-	"window": {"per-core MLP window (outstanding misses)",
-		func(sys *camps.SystemConfig, v int64) { sys.Processor.WindowSize = int(v) }},
-	"tsv": {"per-vault TSV bandwidth in GB/s (0 = unlimited)",
-		func(sys *camps.SystemConfig, v int64) { sys.HMC.TSVGBps = v }},
-	"vaults": {"vault count (power of two)",
-		func(sys *camps.SystemConfig, v int64) { sys.HMC.Vaults = int(v) }},
-	"mshrs": {"shared L3 MSHR entries",
-		func(sys *camps.SystemConfig, v int64) { sys.L3.MSHRs = int(v) }},
-	"readq": {"vault read-queue depth",
-		func(sys *camps.SystemConfig, v int64) { sys.HMC.ReadQueue = int(v) }},
-	"port": {"vault crossbar ingress port GB/s (0 = unbounded)",
-		func(sys *camps.SystemConfig, v int64) { sys.Links.VaultPortGBps = v }},
-	"l2pf": {"core-side L2 stride prefetch degree (0 = off)",
-		func(sys *camps.SystemConfig, v int64) { sys.Processor.L2PrefetchDegree = int(v) }},
-}
-
-// init merges the prefetch registry's per-engine knobs (ct, threshold,
-// mmd.degree, ghb.width, ...) into the sweepable set, so a newly registered
-// engine's parameters appear in -list without touching this file.
-func init() {
-	for _, k := range camps.EngineKnobs() {
-		if _, dup := knobs[k.Name]; dup {
-			panic("campsweep: engine knob shadows builtin: " + k.Name)
-		}
-		knobs[k.Name] = knob{help: k.Help, apply: k.Apply}
-	}
-}
-
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("campsweep: ")
@@ -93,6 +54,7 @@ func main() {
 		retries  = flag.Int("retries", 0, "extra attempts for transiently failing cells")
 		out      = flag.String("out", "", "checkpoint completed cells to this JSONL file")
 		resume   = flag.Bool("resume", false, "skip cells already present in the -out checkpoint")
+		compact  = flag.Bool("compact", false, "compact the -out checkpoint (keep the latest record per cell) and exit")
 		faults   = flag.String("faults", "", "deterministic fault-injection spec applied to every cell; "+camps.FaultGrammar())
 		check    = flag.Bool("check", false, "run the epoch invariant checker in every cell")
 		list     = flag.Bool("list", false, "list knobs and exit")
@@ -104,6 +66,7 @@ func main() {
 		cliutil.PrintVersion(os.Stdout, "campsweep")
 		return
 	}
+	knobs := exp.Knobs()
 	if *list {
 		names := make([]string, 0, len(knobs))
 		for n := range knobs {
@@ -111,8 +74,29 @@ func main() {
 		}
 		sort.Strings(names)
 		for _, n := range names {
-			fmt.Printf("%-10s %s\n", n, knobs[n].help)
+			fmt.Printf("%-10s %s\n", n, knobs[n].Help)
 		}
+		return
+	}
+	if *compact {
+		// Resumed campaigns re-append records the store already holds, so
+		// long-lived checkpoints accumulate superseded lines; -compact
+		// rewrites the file keeping only the latest record per cell.
+		if *out == "" {
+			log.Fatal("-compact needs -out to name the checkpoint")
+		}
+		st, err := exp.OpenStore(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kept, dropped, err := st.Compact()
+		if cerr := st.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatalf("compact %s: %v", *out, err)
+		}
+		fmt.Printf("compacted %s: kept %d records, dropped %d superseded lines\n", *out, kept, dropped)
 		return
 	}
 	k, ok := knobs[*name]
@@ -155,7 +139,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	cells := exp.Sweep(mix, s, *seed, *name, vals, k.apply)
+	cells := exp.Sweep(mix, s, *seed, *name, vals, k.Apply)
 	results, stats, err := exp.Run(ctx, cells, exp.Options{
 		MeasureInstr:    *instr,
 		Parallelism:     *parallel,

@@ -164,9 +164,36 @@ type Options struct {
 	// resumed ones) as it lands. Calls are serialized; the callback need
 	// not be safe for concurrent use.
 	Progress func(CellResult)
+	// Gate, when non-nil, is acquired before every cell attempt sequence
+	// and released when the cell finishes (success or failure). It is how
+	// a service hosting many concurrent campaigns imposes global and
+	// per-tenant in-flight-cell caps on top of Parallelism: Acquire may
+	// block until a slot frees, and must return promptly with ctx.Err()
+	// once ctx is cancelled. Acquire/Release are called from worker
+	// goroutines and must be safe for concurrent use.
+	Gate Gate
+	// CellObs, when non-nil, supplies the obs suite for each cell's
+	// simulation (nil return = that cell runs without observability).
+	// This is the hook job-granular epoch streaming attaches to: the
+	// suite's OnSnapshot sees every epoch as the cell simulates. Called
+	// from worker goroutines; must be safe for concurrent use.
+	CellObs func(Cell) *obs.Suite
+	// RunCell, when non-nil, replaces cell execution entirely — the seam
+	// result caches, dry-run estimators, and tests plug into. Overrides
+	// that only wrap (cache lookaside, accounting) fall back to
+	// ExecuteCell for the real simulation. Called from worker goroutines;
+	// must be safe for concurrent use.
+	RunCell func(ctx context.Context, c Cell, o *Options) (camps.Results, error)
+}
 
-	// runCell overrides cell execution in tests.
-	runCell func(ctx context.Context, c Cell, o *Options) (camps.Results, error)
+// Gate throttles cell execution across campaign boundaries; see
+// Options.Gate.
+type Gate interface {
+	// Acquire blocks until a slot is available or ctx is cancelled
+	// (returning ctx.Err()).
+	Acquire(ctx context.Context) error
+	// Release returns the slot taken by the matching Acquire.
+	Release()
 }
 
 func (o *Options) applyDefaults() {
@@ -182,8 +209,8 @@ func (o *Options) applyDefaults() {
 	if o.HangGrace <= 0 {
 		o.HangGrace = 2 * time.Second
 	}
-	if o.runCell == nil {
-		o.runCell = defaultRunCell
+	if o.RunCell == nil {
+		o.RunCell = ExecuteCell
 	}
 }
 
@@ -282,6 +309,11 @@ func Run(ctx context.Context, cells []Cell, opts Options) ([]CellResult, Stats, 
 	}
 
 	queue := make(chan int, opts.QueueDepth)
+	if opts.Obs != nil {
+		// Queue depth is the scheduler's backpressure signal: a full queue
+		// means the enumerator is ahead of the workers.
+		opts.Obs.GaugeFunc("exp.queue_depth", func() float64 { return float64(len(queue)) })
+	}
 	go func() {
 		defer close(queue)
 		for _, i := range pending {
@@ -306,7 +338,20 @@ func Run(ctx context.Context, cells []Cell, opts Options) ([]CellResult, Stats, 
 					mu.Unlock()
 					continue
 				}
+				if opts.Gate != nil {
+					// The gate slot covers the whole attempt sequence
+					// (retries included), so a cell never runs half-admitted.
+					if err := opts.Gate.Acquire(runCtx); err != nil {
+						mu.Lock()
+						st.Cancelled++
+						mu.Unlock()
+						continue
+					}
+				}
 				res, attempt, dur, err := runWithRetry(runCtx, c, &opts, &st, &mu)
+				if opts.Gate != nil {
+					opts.Gate.Release()
+				}
 				if err != nil {
 					mu.Lock()
 					cancelled := runCtx.Err() != nil
@@ -424,14 +469,21 @@ func permanent(err error) bool {
 		errors.Is(err, camps.ErrInvariant)
 }
 
-// defaultRunCell executes one real simulation.
-func defaultRunCell(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
+// ExecuteCell runs one cell's real simulation under the options' system,
+// fault, and observability settings — the default cell executor behind
+// Run, exported so RunCell overrides that merely wrap execution (result
+// caches, accounting shims) can fall back to the genuine article.
+func ExecuteCell(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
 	sys := o.System
 	if c.Apply != nil {
 		if sys.Processor.Cores == 0 {
 			sys = camps.DefaultSystem()
 		}
 		c.Apply(&sys)
+	}
+	var suite *obs.Suite
+	if o.CellObs != nil {
+		suite = o.CellObs(c)
 	}
 	return camps.RunContext(ctx, camps.RunConfig{
 		System:          sys,
@@ -442,6 +494,7 @@ func defaultRunCell(ctx context.Context, c Cell, o *Options) (camps.Results, err
 		MeasureInstr:    o.MeasureInstr,
 		Faults:          o.Faults,
 		CheckInvariants: o.CheckInvariants,
+		Obs:             suite,
 	})
 }
 

@@ -74,7 +74,7 @@ func TestRunCompletesAllCellsInOrder(t *testing.T) {
 	res, st, err := Run(context.Background(), cells, Options{
 		Parallelism: 3,
 		Progress:    func(cr CellResult) { progress = append(progress, cr) },
-		runCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
+		RunCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
 			calls.Add(1)
 			return fakeResults(c), nil
 		},
@@ -107,7 +107,7 @@ func TestRetryTransientThenSucceed(t *testing.T) {
 	res, st, err := Run(context.Background(), cells, Options{
 		Retries: 3,
 		Backoff: time.Millisecond,
-		runCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
+		RunCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
 			if calls.Add(1) < 3 {
 				return camps.Results{}, fmt.Errorf("transient blip")
 			}
@@ -131,7 +131,7 @@ func TestRetriesExhausted(t *testing.T) {
 	_, st, err := Run(context.Background(), cells, Options{
 		Retries: 2,
 		Backoff: time.Millisecond,
-		runCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
+		RunCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
 			calls.Add(1)
 			return camps.Results{}, fmt.Errorf("still broken")
 		},
@@ -153,7 +153,7 @@ func TestPermanentFailureIsNotRetried(t *testing.T) {
 	_, st, err := Run(context.Background(), cells, Options{
 		Retries: 5,
 		Backoff: time.Millisecond,
-		runCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
+		RunCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
 			calls.Add(1)
 			return camps.Results{}, fmt.Errorf("wrapped: %w", camps.ErrInvalidConfig)
 		},
@@ -173,7 +173,7 @@ func TestCellTimeout(t *testing.T) {
 	cells := fakeCells(1)
 	_, _, err := Run(context.Background(), cells, Options{
 		CellTimeout: 5 * time.Millisecond,
-		runCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
+		RunCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
 			<-ctx.Done() // a simulation that honors cancellation
 			return camps.Results{}, fmt.Errorf("cell timed out: %w", ctx.Err())
 		},
@@ -189,7 +189,7 @@ func TestCampaignCancellation(t *testing.T) {
 	var completed atomic.Uint64
 	res, st, err := Run(ctx, cells, Options{
 		Parallelism: 2,
-		runCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
+		RunCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
 			if completed.Add(1) == 4 {
 				cancel()
 			}
@@ -214,7 +214,7 @@ func TestDuplicateCellsRejected(t *testing.T) {
 	cells := fakeCells(2)
 	cells[1].Seed = cells[0].Seed
 	_, _, err := Run(context.Background(), cells, Options{
-		runCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
+		RunCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
 			return fakeResults(c), nil
 		},
 	})
@@ -242,7 +242,7 @@ func TestCheckpointResumeSkipsDoneCells(t *testing.T) {
 			}
 			mu.Unlock()
 		},
-		runCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
+		RunCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
 			return fakeResults(c), nil
 		},
 	})
@@ -259,7 +259,7 @@ func TestCheckpointResumeSkipsDoneCells(t *testing.T) {
 		Parallelism: 2,
 		Checkpoint:  path,
 		Resume:      true,
-		runCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
+		RunCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
 			calls.Add(1)
 			return fakeResults(c), nil
 		},
@@ -293,7 +293,7 @@ func TestCheckpointResumeSkipsDoneCells(t *testing.T) {
 	_, st3, err := Run(context.Background(), cells, Options{
 		Checkpoint: path,
 		Resume:     true,
-		runCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
+		RunCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
 			t.Error("fully-checkpointed campaign executed a cell")
 			return fakeResults(c), nil
 		},
@@ -311,7 +311,7 @@ func TestWithoutResumeCheckpointIsIgnoredOnRead(t *testing.T) {
 	cells := fakeCells(3)
 	runAll := Options{
 		Checkpoint: path,
-		runCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
+		RunCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
 			return fakeResults(c), nil
 		},
 	}
@@ -320,7 +320,7 @@ func TestWithoutResumeCheckpointIsIgnoredOnRead(t *testing.T) {
 	}
 	// Resume off: cells re-execute even though the store has them.
 	var calls atomic.Uint64
-	runAll.runCell = func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
+	runAll.RunCell = func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
 		calls.Add(1)
 		return fakeResults(c), nil
 	}
@@ -337,7 +337,7 @@ func TestObsInstrumentation(t *testing.T) {
 	cells := fakeCells(4)
 	_, _, err := Run(context.Background(), cells, Options{
 		Obs: reg,
-		runCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
+		RunCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
 			time.Sleep(time.Millisecond)
 			return fakeResults(c), nil
 		},

@@ -64,7 +64,7 @@ func runAttempt(ctx context.Context, c Cell, opts *Options) (camps.Results, erro
 				ch <- attemptOutcome{err: &PanicError{Cell: c.Key(), Value: v, Stack: buf}}
 			}
 		}()
-		res, err := opts.runCell(ctx, c, opts)
+		res, err := opts.RunCell(ctx, c, opts)
 		ch <- attemptOutcome{res: res, err: err}
 	}()
 
@@ -117,11 +117,8 @@ func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return err
 	}
-	if d, err := os.Open(dir); err == nil {
-		// Directory fsync is best-effort: some filesystems reject it, and
-		// the rename is already atomic — only its durability is at stake.
-		_ = d.Sync()
-		_ = d.Close()
-	}
+	// Directory fsync is best-effort: some filesystems reject it, and
+	// the rename is already atomic — only its durability is at stake.
+	syncDir(path)
 	return nil
 }

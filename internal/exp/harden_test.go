@@ -20,7 +20,7 @@ func TestPanicInCellIsRecoveredAndRetried(t *testing.T) {
 	res, st, err := Run(context.Background(), cells, Options{
 		Retries: 2,
 		Backoff: time.Millisecond,
-		runCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
+		RunCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
 			if calls.Add(1) == 1 {
 				panic("index out of range in buggy prefetcher")
 			}
@@ -41,7 +41,7 @@ func TestPanicInCellIsRecoveredAndRetried(t *testing.T) {
 func TestPanicExhaustingRetriesIsTyped(t *testing.T) {
 	cells := fakeCells(1)
 	_, st, err := Run(context.Background(), cells, Options{
-		runCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
+		RunCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
 			panic("always broken")
 		},
 	})
@@ -70,7 +70,7 @@ func TestWatchdogKillsHungCell(t *testing.T) {
 	_, st, err := Run(context.Background(), cells, Options{
 		CellTimeout: 5 * time.Millisecond,
 		HangGrace:   20 * time.Millisecond,
-		runCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
+		RunCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
 			<-release // a deadlocked simulation: never polls ctx
 			return fakeResults(c), nil
 		},
@@ -102,7 +102,7 @@ func TestHangIsRetriedLikeAnyTransientFailure(t *testing.T) {
 		HangGrace:   10 * time.Millisecond,
 		Retries:     1,
 		Backoff:     time.Millisecond,
-		runCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
+		RunCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
 			if calls.Add(1) == 1 {
 				select {} // first attempt deadlocks forever
 			}
@@ -125,9 +125,9 @@ func TestBadFaultSpecIsPermanent(t *testing.T) {
 		Backoff: time.Millisecond,
 		Faults:  camps.FaultSpec{LinkCRCRate: 2}, // invalid: rate > 1
 	}
-	opts.runCell = func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
+	opts.RunCell = func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
 		calls.Add(1)
-		return defaultRunCell(ctx, c, o)
+		return ExecuteCell(ctx, c, o)
 	}
 	_, st, err := Run(context.Background(), cells, opts)
 	if !errors.Is(err, camps.ErrBadFaultSpec) {
@@ -151,7 +151,7 @@ func TestCrashMidCheckpointWriteThenResume(t *testing.T) {
 			Parallelism: 1,
 			Checkpoint:  path,
 			Resume:      true,
-			runCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
+			RunCell: func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
 				return fakeResults(c), nil
 			},
 		}
@@ -174,8 +174,8 @@ func TestCrashMidCheckpointWriteThenResume(t *testing.T) {
 
 	var reran []string
 	opts := run(8)
-	inner := opts.runCell
-	opts.runCell = func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
+	inner := opts.RunCell
+	opts.RunCell = func(ctx context.Context, c Cell, o *Options) (camps.Results, error) {
 		reran = append(reran, c.Key())
 		return inner(ctx, c, o)
 	}

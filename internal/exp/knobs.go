@@ -1,0 +1,65 @@
+package exp
+
+import "camps"
+
+// Knob is one sweepable configuration dimension: a hardware parameter of
+// the simulated system or an engine-exported tuning parameter. The table
+// is shared by cmd/campsweep (the -knob flag) and internal/serve (the
+// job spec's knob/values sweep), so both surfaces accept exactly the
+// same dimensions.
+type Knob struct {
+	Name  string
+	Help  string
+	Apply func(sys *camps.SystemConfig, v int64)
+}
+
+// hardwareKnobs are the simulator-level dimensions; engine knobs come
+// from the prefetch registry (camps.EngineKnobs) and are merged in by
+// Knobs.
+var hardwareKnobs = []Knob{
+	{"buffer", "prefetch-buffer entries per vault",
+		func(sys *camps.SystemConfig, v int64) {
+			sys.PFBuffer.SizeBytes = v * int64(sys.PFBuffer.LineBytes)
+		}},
+	{"window", "per-core MLP window (outstanding misses)",
+		func(sys *camps.SystemConfig, v int64) { sys.Processor.WindowSize = int(v) }},
+	{"tsv", "per-vault TSV bandwidth in GB/s (0 = unlimited)",
+		func(sys *camps.SystemConfig, v int64) { sys.HMC.TSVGBps = v }},
+	{"vaults", "vault count (power of two)",
+		func(sys *camps.SystemConfig, v int64) { sys.HMC.Vaults = int(v) }},
+	{"mshrs", "shared L3 MSHR entries",
+		func(sys *camps.SystemConfig, v int64) { sys.L3.MSHRs = int(v) }},
+	{"readq", "vault read-queue depth",
+		func(sys *camps.SystemConfig, v int64) { sys.HMC.ReadQueue = int(v) }},
+	{"port", "vault crossbar ingress port GB/s (0 = unbounded)",
+		func(sys *camps.SystemConfig, v int64) { sys.Links.VaultPortGBps = v }},
+	{"l2pf", "core-side L2 stride prefetch degree (0 = off)",
+		func(sys *camps.SystemConfig, v int64) { sys.Processor.L2PrefetchDegree = int(v) }},
+}
+
+// Knobs returns every sweepable knob keyed by name: the hardware table
+// above merged with the prefetch registry's per-engine knobs (ct,
+// threshold, mmd.degree, ghb.width, ...), so a newly registered engine's
+// parameters are sweepable everywhere without touching this file. The
+// map is built fresh on every call — callers own it, and the package
+// keeps no mutable state.
+func Knobs() map[string]Knob {
+	m := make(map[string]Knob, len(hardwareKnobs)+8)
+	for _, k := range hardwareKnobs {
+		m[k.Name] = k
+	}
+	for _, ek := range camps.EngineKnobs() {
+		if _, dup := m[ek.Name]; dup {
+			panic("exp: engine knob shadows hardware knob: " + ek.Name)
+		}
+		m[ek.Name] = Knob{Name: ek.Name, Help: ek.Help, Apply: ek.Apply}
+	}
+	return m
+}
+
+// LookupKnob returns the named knob, or false if no such dimension is
+// registered.
+func LookupKnob(name string) (Knob, bool) {
+	k, ok := Knobs()[name]
+	return k, ok
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"time"
 
 	"camps"
@@ -65,6 +67,9 @@ func (r Record) cellResult() CellResult {
 type Store struct {
 	f    *os.File
 	done map[string]Record
+	// lines counts records physically in the file (superseded duplicates
+	// included), so Compact can report how much it reclaimed.
+	lines int
 }
 
 // OpenStore opens (creating if needed) the checkpoint at path, loads every
@@ -72,10 +77,22 @@ type Store struct {
 // line — the signature of a crash mid-append — is discarded and truncated
 // away; a corrupt record elsewhere is an error, since it means the file is
 // not one of ours.
+//
+// When the call creates the file, the parent directory is fsync'd too:
+// per-record Append fsyncs make the *contents* durable, but on
+// journaling filesystems the directory entry itself is a separate piece
+// of metadata — without the directory sync, a crash shortly after
+// creation can lose the whole file even though every byte in it was
+// synced.
 func OpenStore(path string) (*Store, error) {
+	_, statErr := os.Stat(path)
+	creating := os.IsNotExist(statErr)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
+	}
+	if creating {
+		syncDir(path)
 	}
 	s := &Store{f: f, done: make(map[string]Record)}
 	if err := s.load(); err != nil {
@@ -83,6 +100,17 @@ func OpenStore(path string) (*Store, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// syncDir fsyncs path's parent directory, making a just-created or
+// just-renamed directory entry durable. Best-effort, like the rename
+// sync in AtomicWriteFile: some filesystems reject directory fsync, and
+// only durability — not consistency — is at stake.
+func syncDir(path string) {
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
 }
 
 func (s *Store) load() error {
@@ -109,6 +137,7 @@ func (s *Store) load() error {
 		}
 		valid += nl + 1
 		s.done[rec.Key] = rec
+		s.lines++
 	}
 	if err := s.f.Truncate(int64(valid)); err != nil {
 		return err
@@ -144,7 +173,54 @@ func (s *Store) Append(rec Record) error {
 		return err
 	}
 	s.done[rec.Key] = rec
+	s.lines++
 	return nil
+}
+
+// Compact rewrites the store keeping only the latest record per cell key,
+// in sorted key order. Resumed campaigns re-append records the file
+// already holds (the map keeps the latest, but the file keeps them all),
+// so a long-lived store grows without bound until compacted. The rewrite
+// goes through AtomicWriteFile — temp file, fsync, rename, directory
+// fsync — so a crash mid-compaction leaves either the old file or the
+// complete new one. Returns the records kept and the superseded lines
+// dropped.
+func (s *Store) Compact() (kept, dropped int, err error) {
+	keys := make([]string, 0, len(s.done))
+	for k := range s.done {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	for _, k := range keys {
+		b, merr := json.Marshal(s.done[k])
+		if merr != nil {
+			return 0, 0, merr
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	path := s.f.Name()
+	if err := AtomicWriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return 0, 0, err
+	}
+	// Swap the handle: the old descriptor still points at the unlinked
+	// pre-compaction inode, so appends through it would vanish.
+	if err := s.f.Close(); err != nil {
+		return 0, 0, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return 0, 0, err
+	}
+	dropped = s.lines - len(s.done)
+	s.lines = len(s.done)
+	s.f = f
+	return len(s.done), dropped, nil
 }
 
 // Close releases the underlying file.

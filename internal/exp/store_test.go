@@ -136,6 +136,106 @@ func TestStoreRejectsCorruptInterior(t *testing.T) {
 	}
 }
 
+// TestStoreCompact: re-appending records for cells the store already
+// holds (exactly what resumed campaigns do) grows the file; Compact
+// rewrites it down to the latest record per key, keeps the newest
+// values, and leaves the store usable for further appends.
+func TestStoreCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		for seed := uint64(1); seed <= 4; seed++ {
+			rec := testRecord(seed)
+			rec.Attempt = round + 1 // newest round must survive compaction
+			if err := s.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kept, dropped, err := s.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != 4 || dropped != 8 {
+		t.Fatalf("Compact = (kept %d, dropped %d), want (4, 8)", kept, dropped)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Fatalf("compaction did not shrink the file: %d -> %d bytes", before.Size(), after.Size())
+	}
+
+	// The store stays live: appends after Compact land in the new file.
+	if err := s.Append(testRecord(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 5 {
+		t.Fatalf("reloaded %d records, want 5", s2.Len())
+	}
+	if got := s2.Done()["HM1/CAMPS-MOD/seed=2"].Attempt; got != 3 {
+		t.Fatalf("compaction kept attempt %d, want the latest (3)", got)
+	}
+	// Compacting an already-compact store is a no-op.
+	kept, dropped, err = s2.Compact()
+	if err != nil || kept != 5 || dropped != 0 {
+		t.Fatalf("second Compact = (%d, %d, %v), want (5, 0, nil)", kept, dropped, err)
+	}
+}
+
+// TestStoreCreateSyncsParentDirectory: regression note for the
+// create-without-directory-fsync bug. Append fsyncs made the *contents*
+// durable, but the file's directory entry is separate metadata: on
+// journaling filesystems a crash shortly after creation could lose the
+// whole store even though every record in it had been synced. OpenStore
+// now fsyncs the parent directory when it creates the file (syncDir,
+// shared with AtomicWriteFile's rename path). Durability across power
+// loss is untestable in-process; this pins the code path — creation in
+// a freshly made directory — and the store's usability through it.
+func TestStoreCreateSyncsParentDirectory(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "s.jsonl")
+	s, err := OpenStore(path) // creates: must sync the parent directory
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(testRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(path) // reopen: the non-creating path
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 1 {
+		t.Fatalf("reloaded %d records, want 1", s2.Len())
+	}
+}
+
 func TestStoreEmptyFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "s.jsonl")
 	s, err := OpenStore(path)

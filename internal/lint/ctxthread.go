@@ -14,6 +14,7 @@ var ctxPackages = map[string]bool{
 	"camps":                  true,
 	"camps/internal/exp":     true,
 	"camps/internal/harness": true,
+	"camps/internal/serve":   true,
 }
 
 // CtxThread flags exported functions in orchestration packages that

@@ -23,6 +23,7 @@ type StreamServer struct {
 	mu      sync.Mutex
 	subs    []chan []byte // subscriber slice, not a map: iteration order must be deterministic
 	backlog [][]byte
+	closed  bool
 	addr    string
 }
 
@@ -45,15 +46,33 @@ func (s *StreamServer) Publish(snap Snapshot) {
 	if err != nil {
 		return // snapshots are plain maps; cannot happen in practice
 	}
-	frame := make([]byte, 0, len(buf)+len(snap.Tag)+24)
-	frame = append(frame, "event: "...)
-	frame = append(frame, snap.Tag...)
-	frame = append(frame, "\ndata: "...)
-	frame = append(frame, buf...)
-	frame = append(frame, "\n\n"...)
+	s.PublishFrame(snap.Tag, buf)
+}
 
+// sseFrame renders one SSE wire frame: `event: <tag>` + `data: <payload>`.
+func sseFrame(event string, data []byte) []byte {
+	frame := make([]byte, 0, len(data)+len(event)+24)
+	frame = append(frame, "event: "...)
+	frame = append(frame, event...)
+	frame = append(frame, "\ndata: "...)
+	frame = append(frame, data...)
+	frame = append(frame, "\n\n"...)
+	return frame
+}
+
+// PublishFrame fans one event with a pre-encoded JSON payload out to
+// subscribers, appending it to the replay backlog. Never blocks; frames
+// published after Close are dropped. Safe on a nil receiver.
+func (s *StreamServer) PublishFrame(event string, data []byte) {
+	if s == nil {
+		return
+	}
+	frame := sseFrame(event, data)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
 	s.backlog = append(s.backlog, frame)
 	if len(s.backlog) > streamBacklogCap {
 		s.backlog = s.backlog[len(s.backlog)-streamBacklogCap:]
@@ -66,13 +85,50 @@ func (s *StreamServer) Publish(snap Snapshot) {
 	}
 }
 
+// Close publishes one final frame (event "terminal") and shuts the
+// stream down: every subscriber receives the terminal event (unless its
+// buffer was already full) and then sees its channel closed, so Handler
+// loops drain and return instead of blocking forever. Late subscribers
+// still replay the backlog — terminal frame included — and get an
+// immediate end-of-stream, which is how a finished job reports its
+// history idempotently. Idempotent; safe on a nil receiver.
+func (s *StreamServer) Close(data []byte) {
+	if s == nil {
+		return
+	}
+	frame := sseFrame("terminal", data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.backlog = append(s.backlog, frame)
+	if len(s.backlog) > streamBacklogCap {
+		s.backlog = s.backlog[len(s.backlog)-streamBacklogCap:]
+	}
+	for _, ch := range s.subs {
+		select {
+		case ch <- frame:
+		default: // subscriber 64 frames behind; it still sees the close
+		}
+		close(ch)
+	}
+	s.subs = nil
+}
+
 // subscribe registers a new subscriber and returns its channel plus the
-// backlog to replay first.
+// backlog to replay first. On a closed stream the channel comes back
+// already closed: the subscriber replays history and ends immediately.
 func (s *StreamServer) subscribe() (chan []byte, [][]byte) {
 	ch := make(chan []byte, streamChanCap)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.subs = append(s.subs, ch)
+	if s.closed {
+		close(ch)
+	} else {
+		s.subs = append(s.subs, ch)
+	}
 	replay := make([][]byte, len(s.backlog))
 	copy(replay, s.backlog)
 	return ch, replay
@@ -114,7 +170,10 @@ func (s *StreamServer) Handler() http.Handler {
 		fl.Flush()
 		for {
 			select {
-			case frame := <-ch:
+			case frame, ok := <-ch:
+				if !ok {
+					return // stream closed server-side; terminal frame already sent
+				}
 				if _, err := w.Write(frame); err != nil {
 					return
 				}

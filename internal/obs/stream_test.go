@@ -103,6 +103,69 @@ func TestStreamLivePublish(t *testing.T) {
 	}
 }
 
+// TestStreamCloseTerminal: Close delivers a terminal frame to attached
+// subscribers and ends their streams; late subscribers replay the
+// backlog (terminal included) and see immediate end-of-stream.
+func TestStreamCloseTerminal(t *testing.T) {
+	s := NewStreamServer()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		n := len(s.subs)
+		s.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("subscriber never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	s.PublishFrame("cell", []byte(`{"key":"a"}`))
+	s.Close([]byte(`{"state":"done"}`))
+	s.PublishFrame("cell", []byte(`{"key":"dropped"}`)) // after Close: ignored
+
+	br := bufio.NewReader(resp.Body)
+	event, data := readSSEFrame(t, br)
+	if event != "cell" || data != `{"key":"a"}` {
+		t.Errorf("first frame = %q / %q", event, data)
+	}
+	event, data = readSSEFrame(t, br)
+	if event != "terminal" || data != `{"state":"done"}` {
+		t.Errorf("terminal frame = %q / %q", event, data)
+	}
+	// The handler returns after the channel closes, so the body ends.
+	if _, err := br.ReadByte(); err == nil {
+		t.Error("stream kept going after terminal frame")
+	}
+
+	// A late subscriber still sees the full history and an immediate end.
+	resp2, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	br2 := bufio.NewReader(resp2.Body)
+	if event, _ := readSSEFrame(t, br2); event != "cell" {
+		t.Errorf("late replay first event = %q, want cell", event)
+	}
+	if event, _ := readSSEFrame(t, br2); event != "terminal" {
+		t.Errorf("late replay second event = %q, want terminal", event)
+	}
+	if _, err := br2.ReadByte(); err == nil {
+		t.Error("late subscriber stream did not end after terminal")
+	}
+	s.Close(nil) // idempotent
+}
+
 // TestStartStreamDegradesOnBoundPort: a port already in use disables
 // streaming with a warning instead of failing the run, mirroring
 // cliutil.StartPprof.

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"math"
+	"time"
+)
+
+// Admission-rejection reasons, carried in the JSON error body so clients
+// can react in kind: back off ("rate"), retry later ("queue_full",
+// "shed"), stop submitting ("quota_*"), or fail over ("draining").
+const (
+	ReasonRate       = "rate"        // token bucket empty
+	ReasonQueueFull  = "queue_full"  // bounded wait queue at capacity
+	ReasonShed       = "shed"        // load shedding: priority too low for the current queue depth
+	ReasonQuotaJobs  = "quota_jobs"  // tenant's queued-job quota exhausted
+	ReasonQuotaTicks = "quota_ticks" // tenant's simulated-tick budget exhausted
+	ReasonDraining   = "draining"    // daemon is shutting down; not accepting work
+)
+
+// rejection is one typed admission refusal. Zero value means admitted.
+type rejection struct {
+	Reason     string        // one of the Reason* constants
+	RetryAfter time.Duration // hint for the Retry-After header (0 = none)
+}
+
+// tokenBucket is the submission rate limiter: rate tokens/second with a
+// burst ceiling. It is driven by an injected clock so admission tests
+// are deterministic. Guarded by the server mutex.
+type tokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst int, now time.Time) *tokenBucket {
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: now}
+}
+
+// take consumes one token if available; otherwise it reports how long
+// until the next token accrues (the Retry-After hint).
+func (b *tokenBucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+elapsed*b.rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// shedFloor maps queue load (queued jobs / queue capacity) to the
+// minimum priority admitted. Below shedStart every priority is
+// admitted; from there the floor climbs linearly so the lowest-priority
+// work is shed first, and at load 1.0 the floor passes the maximum
+// priority — but by then the queue_full check has already closed the
+// door. Shedding happens only here, at the admission boundary: accepted
+// jobs are never dropped.
+func shedFloor(load, shedStart float64) int {
+	if load <= shedStart || shedStart >= 1 {
+		return 0
+	}
+	span := 1 - shedStart
+	floor := (load - shedStart) / span * 10
+	// The epsilon keeps float noise from bumping an exact boundary (e.g.
+	// 1.0000000000000002) up a whole priority level.
+	return int(math.Ceil(floor - 1e-9))
+}

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// The token bucket is driven by an injected clock, so its behavior is a
+// pure function of the call sequence.
+func TestTokenBucket(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newTokenBucket(2, 3, now) // 2 tokens/s, burst 3
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.take(now); !ok {
+			t.Fatalf("take %d within burst refused", i)
+		}
+	}
+	ok, retry := b.take(now)
+	if ok {
+		t.Fatal("take beyond burst admitted")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry hint %v; want (0, 1s] at 2 tokens/s", retry)
+	}
+
+	// Half a second accrues one token at rate 2.
+	now = now.Add(500 * time.Millisecond)
+	if ok, _ := b.take(now); !ok {
+		t.Fatal("token accrued over 500ms not granted")
+	}
+	if ok, _ := b.take(now); ok {
+		t.Fatal("second token granted after only one accrued")
+	}
+
+	// A long idle period caps accrual at the burst.
+	now = now.Add(time.Hour)
+	granted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := b.take(now); ok {
+			granted++
+		}
+	}
+	if granted != 3 {
+		t.Fatalf("after long idle granted %d tokens; want burst 3", granted)
+	}
+}
+
+func TestShedFloor(t *testing.T) {
+	cases := []struct {
+		load, start float64
+		want        int
+	}{
+		{0, 0.5, 0},    // idle: admit everything
+		{0.5, 0.5, 0},  // at the threshold: still open
+		{0.55, 0.5, 1}, // just above: shed only priority 0 (i.e. nothing real; min real is 1)
+		{0.75, 0.5, 5}, // halfway up: floor mid-scale
+		{0.95, 0.5, 9}, // nearly full: only the top priority passes
+		{1.0, 0.5, 10}, // full: floor passes the scale (queue_full fires first anyway)
+		{0.99, 1.0, 0}, // shedStart >= 1 disables shedding
+		{0.2, 0.5, 0},  // below threshold
+	}
+	for _, c := range cases {
+		if got := shedFloor(c.load, c.start); got != c.want {
+			t.Errorf("shedFloor(%v, %v) = %d; want %d", c.load, c.start, got, c.want)
+		}
+	}
+}
+
+func TestQuotaDefaults(t *testing.T) {
+	def := Quota{MaxInFlightCells: 8, MaxQueuedJobs: 16, TickBudget: 100}
+	q := Quota{MaxQueuedJobs: 2}.withDefaults(def)
+	if q.MaxInFlightCells != 8 || q.MaxQueuedJobs != 2 || q.TickBudget != 100 {
+		t.Fatalf("withDefaults = %+v", q)
+	}
+	tn := &tenant{quota: Quota{TickBudget: 50}, ticks: 49}
+	if tn.overTickBudget() {
+		t.Fatal("under budget reported over")
+	}
+	tn.ticks = 50
+	if !tn.overTickBudget() {
+		t.Fatal("at budget not reported over")
+	}
+	tn.quota.TickBudget = 0
+	if tn.overTickBudget() {
+		t.Fatal("unlimited budget reported over")
+	}
+}

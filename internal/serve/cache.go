@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+
+	"camps"
+	"camps/internal/exp"
+)
+
+// resultCache memoizes completed cell results across jobs and tenants.
+// It is sound because a CAMPS simulation is a pure function of its full
+// configuration tuple — the cache key hashes the daemon's system config
+// together with every per-cell input (mix, scheme, seed, knob/value,
+// run lengths, fault spec, invariant checking) — so a hit is
+// bit-identical to a fresh run. LRU-bounded; safe for concurrent use
+// (it is read and written from exp worker goroutines).
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	lru     *list.List // front = most recent; values are *cacheEntry
+	evicted uint64
+}
+
+type cacheEntry struct {
+	key string
+	res camps.Results
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element, capacity),
+		lru:     list.New(),
+	}
+}
+
+func (c *resultCache) get(key string) (camps.Results, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return camps.Results{}, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+func (c *resultCache) put(key string, res camps.Results) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, res: res})
+	for c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evicted++
+	}
+}
+
+// evictions returns the number of entries dropped by the LRU bound.
+func (c *resultCache) evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicted
+}
+
+// len returns the live entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// cellKeyInputs is the canonical serialization hashed into a cache key.
+// Every field that can change a cell's results must appear here.
+type cellKeyInputs struct {
+	SystemHash string `json:"system"`
+	Mix        string `json:"mix"`
+	Scheme     string `json:"scheme"`
+	Seed       uint64 `json:"seed"`
+	Knob       string `json:"knob,omitempty"`
+	Value      int64  `json:"value,omitempty"`
+	Instr      uint64 `json:"instr"`
+	Warmup     uint64 `json:"warmup"`
+	Faults     string `json:"faults,omitempty"`
+	Check      bool   `json:"check,omitempty"`
+}
+
+// hashSystem canonicalizes the daemon's base system configuration once;
+// it is part of every cache key so daemons with different hardware
+// configs never share entries (relevant when a data dir moves between
+// deployments).
+func hashSystem(sys camps.SystemConfig) (string, error) {
+	b, err := json.Marshal(sys)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// cacheKey derives the deterministic key for one cell under one spec.
+func cacheKey(systemHash string, spec *JobSpec, c exp.Cell) string {
+	in := cellKeyInputs{
+		SystemHash: systemHash,
+		Mix:        c.Mix.ID,
+		Scheme:     c.Scheme.String(),
+		Seed:       c.Seed,
+		Knob:       c.Knob,
+		Value:      c.Value,
+		Instr:      spec.Instr,
+		Warmup:     spec.Warmup,
+		Faults:     spec.Faults,
+		Check:      spec.Check,
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		// Plain struct of scalars; cannot fail. Fall back to an
+		// uncacheable unique-ish key rather than panicking the worker.
+		return "uncacheable:" + c.Key()
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Real-simulation settings shared by the killed daemon, the recovering
+// daemon, and the control daemon — the exports are only comparable if
+// all three simulate identically.
+const (
+	recoveryInstr  = 10_000
+	recoveryWarmup = 1_000
+)
+
+const recoverySpec = `{"mixes":["HM1","HM2","HM3","HM4"],"schemes":["NONE","CAMPS-MOD"],"seeds":[1]}`
+
+// TestCampserveChildProcess is not a test: it is the subprocess body for
+// TestSIGKILLRecovery, re-executing this test binary as a daemon the
+// parent can kill -9 mid-campaign.
+func TestCampserveChildProcess(t *testing.T) {
+	if os.Getenv("CAMPSERVE_CHILD") != "1" {
+		t.Skip("subprocess helper for TestSIGKILLRecovery")
+	}
+	dir := os.Getenv("CAMPSERVE_DIR")
+	// One worker serializes the campaign so the parent's kill lands with
+	// most cells still pending.
+	s, err := New(Config{DataDir: dir, Instr: recoveryInstr, Warmup: recoveryWarmup, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "addr"), []byte(ln.Addr().String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Run(context.Background(), ln) // runs until the parent SIGKILLs us
+}
+
+// TestSIGKILLRecovery is the crash-safety acceptance test: a daemon is
+// SIGKILL'd mid-campaign — no drain, no flush, nothing graceful — and a
+// new daemon on the same data directory must repair the journal, resume
+// the job from its cell checkpoints without re-running completed cells,
+// and produce a results document byte-identical to an uninterrupted
+// control run.
+func TestSIGKILLRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess daemon + real simulations")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCampserveChildProcess$")
+	cmd.Env = append(os.Environ(), "CAMPSERVE_CHILD=1", "CAMPSERVE_DIR="+dir)
+	cmd.Stdout, cmd.Stderr = io.Discard, io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	// The child writes its ephemeral address once it is listening.
+	var base string
+	for deadline := time.Now().Add(60 * time.Second); ; {
+		if b, err := os.ReadFile(filepath.Join(dir, "addr")); err == nil && len(b) > 0 {
+			base = "http://" + string(b)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("child daemon never published its address")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	client := &http.Client{}
+	resp, err := client.Post(base+"/v1/jobs", "application/json", strings.NewReader(recoverySpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit to child: %d %s", resp.StatusCode, body)
+	}
+	var st status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the campaign make real progress, then kill -9 the daemon.
+	for deadline := time.Now().Add(120 * time.Second); ; {
+		r, err := client.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatalf("polling child: %v", err)
+		}
+		b, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		var cur status
+		if err := json.Unmarshal(b, &cur); err != nil {
+			t.Fatalf("polling child: %v (%s)", err, b)
+		}
+		if cur.CellsDone >= 1 {
+			break
+		}
+		if terminalState(cur.State) {
+			t.Fatalf("job finished (%s) before the kill; slow the cells down", cur.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("child never completed a cell")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup of any kind
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	killed = true
+
+	// Recovery: a fresh daemon on the same directory must finish the job.
+	d := startDaemon(t, Config{DataDir: dir, Instr: recoveryInstr, Warmup: recoveryWarmup}, nil)
+	fin := d.await(st.ID)
+	if fin.State != StateDone || fin.CellsDone != 8 {
+		t.Fatalf("recovered job finished %+v; want done with 8 cells", fin)
+	}
+	if d.s.m.cellsResumed.Load() == 0 {
+		t.Fatal("recovery re-ran every cell; the kill'd daemon's checkpoints were lost")
+	}
+	recovered := exportCells(t, d.results(st.ID))
+	d.shutdown()
+
+	// Control: the same spec, uninterrupted, in a fresh daemon.
+	c := startDaemon(t, Config{DataDir: t.TempDir(), Instr: recoveryInstr, Warmup: recoveryWarmup}, nil)
+	ctrl := c.submit(recoverySpec)
+	if fin := c.await(ctrl.ID); fin.State != StateDone {
+		t.Fatalf("control run finished %+v", fin)
+	}
+	control := exportCells(t, c.results(ctrl.ID))
+
+	if string(recovered) != string(control) {
+		t.Fatalf("recovered export differs from uninterrupted control:\n%s\nvs\n%s", recovered, control)
+	}
+}
+
+// exportCells extracts the raw cells array of a results document (the
+// job-identity fields differ between runs by construction).
+func exportCells(t *testing.T, doc []byte) json.RawMessage {
+	t.Helper()
+	var d struct {
+		Cells json.RawMessage `json:"cells"`
+	}
+	if err := json.Unmarshal(doc, &d); err != nil {
+		t.Fatal(err)
+	}
+	return d.Cells
+}

@@ -1,0 +1,618 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"camps"
+	"camps/internal/exp"
+	"camps/internal/sim"
+)
+
+// testDaemon is a served Server plus the client plumbing the tests use.
+type testDaemon struct {
+	t      *testing.T
+	s      *Server
+	base   string
+	client *http.Client
+	stop   context.CancelFunc
+	done   chan error
+}
+
+// startDaemon boots a daemon on a loopback port. fake, when non-nil,
+// replaces real cell execution; tweaks run against the Server before it
+// starts (the only race-free moment to poke test knobs like reapEvery).
+// Cleanup drains the daemon.
+func startDaemon(t *testing.T, cfg Config, fake func(ctx context.Context, c exp.Cell, o *exp.Options) (camps.Results, error), tweaks ...func(*Server)) *testDaemon {
+	t.Helper()
+	if cfg.DataDir == "" {
+		cfg.DataDir = t.TempDir()
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = 2 * time.Second
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.runCell = fake
+	for _, tw := range tweaks {
+		tw(s)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	d := &testDaemon{
+		t: t, s: s, base: "http://" + ln.Addr().String(),
+		client: &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}},
+		stop:   cancel, done: make(chan error, 1),
+	}
+	go func() { d.done <- s.Run(ctx, ln) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-d.done:
+		case <-time.After(30 * time.Second):
+			t.Error("daemon did not drain within 30s")
+		}
+		d.client.CloseIdleConnections()
+	})
+	return d
+}
+
+// shutdown drains the daemon now (instead of at cleanup) and waits. The
+// drain result is pushed back so the cleanup's own wait still succeeds.
+func (d *testDaemon) shutdown() {
+	d.t.Helper()
+	d.stop()
+	select {
+	case err := <-d.done:
+		d.done <- err
+	case <-time.After(30 * time.Second):
+		d.t.Fatal("daemon did not drain within 30s")
+	}
+}
+
+// post submits body and returns (status code, response body).
+func (d *testDaemon) post(path, body string) (int, []byte) {
+	d.t.Helper()
+	resp, err := d.client.Post(d.base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func (d *testDaemon) get(path string) (int, []byte) {
+	d.t.Helper()
+	resp, err := d.client.Get(d.base + path)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// submit posts a job spec and fails the test unless it is accepted.
+func (d *testDaemon) submit(spec string) status {
+	d.t.Helper()
+	code, body := d.post("/v1/jobs", spec)
+	if code != http.StatusAccepted {
+		d.t.Fatalf("submit %s: %d %s", spec, code, body)
+	}
+	var st status
+	if err := json.Unmarshal(body, &st); err != nil {
+		d.t.Fatal(err)
+	}
+	return st
+}
+
+// await polls a job until it reaches a terminal state.
+func (d *testDaemon) await(id string) status {
+	d.t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var st status
+		code, body := d.get("/v1/jobs/" + id)
+		if code != http.StatusOK {
+			d.t.Fatalf("status %s: %d %s", id, code, body)
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			d.t.Fatal(err)
+		}
+		if terminalState(st.State) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			d.t.Fatalf("job %s stuck in %s", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// results fetches a terminal job's export document.
+func (d *testDaemon) results(id string) []byte {
+	d.t.Helper()
+	code, body := d.get("/v1/jobs/" + id + "/results")
+	if code != http.StatusOK {
+		d.t.Fatalf("results %s: %d %s", id, code, body)
+	}
+	return body
+}
+
+// instantCell is the standard fake: deterministic results derived from
+// the cell identity, 1000 simulated ps per cell.
+func instantCell(ctx context.Context, c exp.Cell, o *exp.Options) (camps.Results, error) {
+	return camps.Results{GeoMeanIPC: float64(c.Seed), ElapsedSim: sim.Time(1000)}, nil
+}
+
+// blockingCell returns a fake that blocks until release is closed (or
+// the cell's context is cancelled) and counts executions.
+func blockingCell(release <-chan struct{}, executed *atomic.Int64) func(context.Context, exp.Cell, *exp.Options) (camps.Results, error) {
+	return func(ctx context.Context, c exp.Cell, o *exp.Options) (camps.Results, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return camps.Results{}, ctx.Err()
+		}
+		if executed != nil {
+			executed.Add(1)
+		}
+		return instantCell(ctx, c, o)
+	}
+}
+
+func reason(body []byte) string {
+	var eb errorBody
+	_ = json.Unmarshal(body, &eb)
+	return eb.Reason
+}
+
+func TestSubmitValidation(t *testing.T) {
+	d := startDaemon(t, Config{}, instantCell)
+	cases := []string{
+		`{not json`,
+		`{"mixes":[],"schemes":["CAMPS-MOD"]}`,
+		`{"mixes":["HM1"],"schemes":[]}`,
+		`{"mixes":["no-such-mix"],"schemes":["CAMPS-MOD"]}`,
+		`{"mixes":["HM1"],"schemes":["no-such-scheme"]}`,
+		`{"mixes":["HM1"],"schemes":["CAMPS-MOD"],"priority":12}`,
+		`{"mixes":["HM1"],"schemes":["CAMPS-MOD"],"values":[1,2]}`,
+		`{"mixes":["HM1"],"schemes":["CAMPS-MOD"],"knob":"no-such-knob","values":[1]}`,
+		`{"mixes":["HM1"],"schemes":["CAMPS-MOD"],"faults":"bogus"}`,
+		`{"mixes":["HM1"],"schemes":["CAMPS-MOD"],"unknown_field":1}`,
+	}
+	for _, spec := range cases {
+		if code, body := d.post("/v1/jobs", spec); code != http.StatusBadRequest {
+			t.Errorf("spec %s: code %d (%s); want 400", spec, code, body)
+		}
+	}
+	if code, body := d.get("/v1/jobs/j999999"); code != http.StatusNotFound {
+		t.Errorf("unknown job: %d %s; want 404", code, body)
+	}
+}
+
+func TestJobLifecycleResultsAndCache(t *testing.T) {
+	// The fake switches from instant to blocking partway through the
+	// test (for the 409 check) — via an atomic, so no race with workers.
+	var blocked atomic.Bool
+	release := make(chan struct{})
+	fake := func(ctx context.Context, c exp.Cell, o *exp.Options) (camps.Results, error) {
+		if blocked.Load() {
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return camps.Results{}, ctx.Err()
+			}
+		}
+		return instantCell(ctx, c, o)
+	}
+	d := startDaemon(t, Config{}, fake)
+	spec := `{"tenant":"t1","mixes":["HM1","HM2"],"schemes":["CAMPS-MOD"],"seeds":[1,2]}`
+
+	st := d.submit(spec)
+	if st.State != StateQueued || st.Cells != 4 {
+		t.Fatalf("submitted status %+v", st)
+	}
+	fin := d.await(st.ID)
+	if fin.State != StateDone || fin.CellsDone != 4 || fin.Cached != 0 {
+		t.Fatalf("first run finished %+v", fin)
+	}
+	if fin.TicksUsed != 4000 {
+		t.Fatalf("ticks used %d; want 4000", fin.TicksUsed)
+	}
+	doc1 := d.results(st.ID)
+	var parsed exportDoc
+	if err := json.Unmarshal(doc1, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Cells) != 4 {
+		t.Fatalf("export has %d cells; want 4", len(parsed.Cells))
+	}
+	for i := 1; i < len(parsed.Cells); i++ {
+		if parsed.Cells[i-1].Key >= parsed.Cells[i].Key {
+			t.Fatalf("export not sorted: %q before %q", parsed.Cells[i-1].Key, parsed.Cells[i].Key)
+		}
+	}
+
+	// An identical spec must be served entirely from the result cache,
+	// with a byte-identical cells array.
+	st2 := d.submit(spec)
+	fin2 := d.await(st2.ID)
+	if fin2.State != StateDone || fin2.Cached != 4 {
+		t.Fatalf("cached rerun finished %+v", fin2)
+	}
+	if fin2.TicksUsed != 0 {
+		t.Fatalf("cached rerun charged %d ticks; want 0", fin2.TicksUsed)
+	}
+	stripID := func(doc []byte, id string) []byte {
+		return bytes.ReplaceAll(doc, []byte(id), []byte("JOB"))
+	}
+	if got, want := stripID(d.results(st2.ID), st2.ID), stripID(doc1, st.ID); !bytes.Equal(got, want) {
+		t.Fatalf("cache hit changed the export:\n%s\nvs\n%s", got, want)
+	}
+
+	// Results of a non-terminal job are a 409, not a partial read.
+	blocked.Store(true)
+	st3 := d.submit(`{"mixes":["HM3"],"schemes":["CAMPS-MOD"]}`)
+	waitState(t, d, st3.ID, StateRunning)
+	if code, _ := d.get("/v1/jobs/" + st3.ID + "/results"); code != http.StatusConflict {
+		t.Fatalf("results of running job: %d; want 409", code)
+	}
+	close(release)
+	d.await(st3.ID)
+
+	// Metrics surface the serve.* namespace.
+	code, body := d.get("/v1/metrics")
+	if code != http.StatusOK || !bytes.Contains(body, []byte("serve.admitted")) {
+		t.Fatalf("metrics: %d %s", code, body)
+	}
+}
+
+// waitState polls until the job reports the wanted (non-terminal) state.
+func waitState(t *testing.T, d *testDaemon, id, want string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var st status
+		_, body := d.get("/v1/jobs/" + id)
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return
+		}
+		if terminalState(st.State) || time.Now().After(deadline) {
+			t.Fatalf("job %s in %s; want %s", id, st.State, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestAdmissionRateLimit(t *testing.T) {
+	d := startDaemon(t, Config{RatePerSec: 0.0001, Burst: 2}, instantCell)
+	spec := `{"mixes":["HM1"],"schemes":["CAMPS-MOD"]}`
+	d.submit(spec)
+	d.submit(spec)
+	code, body := d.post("/v1/jobs", spec)
+	if code != http.StatusTooManyRequests || reason(body) != ReasonRate {
+		t.Fatalf("over-rate submit: %d %s; want 429 rate", code, body)
+	}
+}
+
+func TestQueueFullAndShedding(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	d := startDaemon(t, Config{
+		MaxActiveJobs: 1, MaxQueue: 10, ShedStart: 0.2,
+		DefaultQuota: Quota{MaxQueuedJobs: 100},
+	}, blockingCell(release, nil))
+	spec := func(prio int) string {
+		return fmt.Sprintf(`{"priority":%d,"mixes":["HM1"],"schemes":["CAMPS-MOD"]}`, prio)
+	}
+	running := d.submit(spec(9))
+	waitState(t, d, running.ID, StateRunning) // occupies the only job slot
+	for i := 0; i < 5; i++ {
+		d.submit(spec(9)) // queue depth 5 of 10: load 0.5
+	}
+	// floor = ceil((0.5-0.2)/0.8*10) = 4: priority 3 is shed, 4 passes.
+	code, body := d.post("/v1/jobs", spec(3))
+	if code != http.StatusTooManyRequests || reason(body) != ReasonShed {
+		t.Fatalf("low-priority submit under load: %d %s; want 429 shed", code, body)
+	}
+	for i := 0; i < 5; i++ {
+		d.submit(spec(9)) // fill the queue to its bound
+	}
+	code, body = d.post("/v1/jobs", spec(9))
+	if code != http.StatusTooManyRequests || reason(body) != ReasonQueueFull {
+		t.Fatalf("submit past queue bound: %d %s; want 429 queue_full", code, body)
+	}
+	if h := code; h == http.StatusTooManyRequests {
+		// Retry-After accompanies every 429.
+		resp, err := d.client.Post(d.base+"/v1/jobs", "application/json", strings.NewReader(spec(9)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatal("429 without Retry-After header")
+		}
+	}
+}
+
+func TestTenantQuotas(t *testing.T) {
+	release := make(chan struct{})
+	d := startDaemon(t, Config{
+		MaxActiveJobs: 1,
+		Tenants:       map[string]Quota{"small": {MaxQueuedJobs: 2}},
+	}, blockingCell(release, nil))
+	spec := `{"tenant":"small","mixes":["HM1"],"schemes":["CAMPS-MOD"]}`
+	first := d.submit(spec)
+	waitState(t, d, first.ID, StateRunning)
+	d.submit(spec)
+	d.submit(spec)
+	code, body := d.post("/v1/jobs", spec)
+	if code != http.StatusTooManyRequests || reason(body) != ReasonQuotaJobs {
+		t.Fatalf("submit past queued-job quota: %d %s; want 429 quota_jobs", code, body)
+	}
+	// Another tenant is unaffected: quotas are per tenant.
+	if code, body := d.post("/v1/jobs", `{"tenant":"big","mixes":["HM1"],"schemes":["CAMPS-MOD"]}`); code != http.StatusAccepted {
+		t.Fatalf("other tenant rejected: %d %s", code, body)
+	}
+	close(release)
+}
+
+func TestTickBudgetEnforcedAndPersisted(t *testing.T) {
+	dir := t.TempDir()
+	// Each fake cell simulates 1000ps; the budget admits two 1-cell jobs
+	// (the check is at admission, against ticks already spent).
+	cfg := Config{DataDir: dir, DefaultQuota: Quota{TickBudget: 1500}}
+	d := startDaemon(t, cfg, instantCell)
+	spec := `{"tenant":"metered","mixes":["HM1"],"schemes":["CAMPS-MOD"]}`
+	d.await(d.submit(spec).ID)                                                           // 1000 ticks spent
+	d.await(d.submit(`{"tenant":"metered","mixes":["HM2"],"schemes":["CAMPS-MOD"]}`).ID) // 2000
+	code, body := d.post("/v1/jobs", spec)
+	if code != http.StatusTooManyRequests || reason(body) != ReasonQuotaTicks {
+		t.Fatalf("submit past tick budget: %d %s; want 429 quota_ticks", code, body)
+	}
+	d.shutdown()
+
+	// Spent ticks are journaled with the terminal records, so the budget
+	// survives a daemon restart.
+	d2 := startDaemon(t, cfg, instantCell)
+	code, body = d2.post("/v1/jobs", spec)
+	if code != http.StatusTooManyRequests || reason(body) != ReasonQuotaTicks {
+		t.Fatalf("submit past tick budget after restart: %d %s; want 429 quota_ticks", code, body)
+	}
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	d := startDaemon(t, Config{MaxActiveJobs: 1}, blockingCell(release, nil))
+	spec := `{"mixes":["HM1"],"schemes":["CAMPS-MOD"]}`
+	running := d.submit(spec)
+	waitState(t, d, running.ID, StateRunning)
+	queued := d.submit(spec)
+
+	code, body := d.post("/v1/jobs/"+queued.ID+"/cancel", "")
+	if code != http.StatusOK {
+		t.Fatalf("cancel queued: %d %s", code, body)
+	}
+	if st := d.await(queued.ID); st.State != StateCancelled {
+		t.Fatalf("queued job after cancel: %+v", st)
+	}
+
+	code, body = d.post("/v1/jobs/"+running.ID+"/cancel", "")
+	if code != http.StatusAccepted {
+		t.Fatalf("cancel running: %d %s", code, body)
+	}
+	st := d.await(running.ID)
+	if st.State != StateCancelled || !strings.Contains(st.Reason, "client") {
+		t.Fatalf("running job after cancel: %+v", st)
+	}
+	// Cancellation is idempotent.
+	if code, _ := d.post("/v1/jobs/"+running.ID+"/cancel", ""); code != http.StatusOK {
+		t.Fatalf("re-cancel: %d; want 200", code)
+	}
+}
+
+func TestHeartbeatReaping(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	d := startDaemon(t, Config{}, blockingCell(release, nil),
+		func(s *Server) { s.reapEvery = 10 * time.Millisecond })
+
+	// A job demanding heartbeats, whose client never sends one, is
+	// reaped once three beat intervals lapse.
+	st := d.submit(`{"heartbeat_ms":20,"mixes":["HM1"],"schemes":["CAMPS-MOD"]}`)
+	fin := d.await(st.ID)
+	if fin.State != StateCancelled || !strings.Contains(fin.Reason, "heartbeat") {
+		t.Fatalf("abandoned job ended %+v; want cancelled for lost heartbeat", fin)
+	}
+
+	// A job whose client beats stays alive well past the grace window.
+	st2 := d.submit(`{"heartbeat_ms":20,"mixes":["HM2"],"schemes":["CAMPS-MOD"]}`)
+	for i := 0; i < 10; i++ {
+		time.Sleep(20 * time.Millisecond)
+		if code, _ := d.post("/v1/jobs/"+st2.ID+"/heartbeat", ""); code != http.StatusNoContent {
+			t.Fatalf("heartbeat: code %d", code)
+		}
+	}
+	var cur status
+	_, body := d.get("/v1/jobs/" + st2.ID)
+	if err := json.Unmarshal(body, &cur); err != nil {
+		t.Fatal(err)
+	}
+	if terminalState(cur.State) {
+		t.Fatalf("heartbeating job was reaped: %+v", cur)
+	}
+}
+
+func TestJobDeadline(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	d := startDaemon(t, Config{}, blockingCell(release, nil))
+	st := d.submit(`{"deadline_ms":60,"mixes":["HM1"],"schemes":["CAMPS-MOD"]}`)
+	fin := d.await(st.ID)
+	if fin.State != StateFailed || !strings.Contains(fin.Reason, "deadline") {
+		t.Fatalf("deadlined job ended %+v; want failed (deadline)", fin)
+	}
+}
+
+// sseEvents reads SSE frames from the stream until EOF and returns the
+// event names in order.
+func sseEvents(t *testing.T, r io.Reader) []string {
+	t.Helper()
+	var events []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if name, ok := strings.CutPrefix(sc.Text(), "event: "); ok {
+			events = append(events, name)
+		}
+	}
+	return events
+}
+
+// TestDrainCheckpointAndResume exercises the graceful-drain contract:
+// SIGTERM (context cancellation) stops admission, in-flight work past
+// the drain deadline is checkpointed — not lost, not marked terminal —
+// every SSE subscriber gets a terminal event, and a new daemon on the
+// same data dir resumes the job without re-running completed cells.
+func TestDrainCheckpointAndResume(t *testing.T) {
+	dir := t.TempDir()
+	release := make(chan struct{})
+	var executed atomic.Int64
+	// The first two cells complete instantly; the rest block, pinning the
+	// job mid-campaign. Workers=1 serializes so exactly two finish.
+	var calls atomic.Int64
+	fake := func(ctx context.Context, c exp.Cell, o *exp.Options) (camps.Results, error) {
+		if calls.Add(1) > 2 {
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return camps.Results{}, ctx.Err()
+			}
+		}
+		executed.Add(1)
+		return instantCell(ctx, c, o)
+	}
+	d := startDaemon(t, Config{DataDir: dir, Workers: 1, DrainTimeout: 100 * time.Millisecond}, fake)
+
+	st := d.submit(`{"mixes":["HM1","HM2","HM3","HM4"],"schemes":["CAMPS-MOD"]}`)
+
+	// Subscribe to the job's SSE stream before draining.
+	resp, err := d.client.Get(d.base + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	streamDone := make(chan []string, 1)
+	go func() { streamDone <- sseEvents(t, resp.Body) }()
+
+	// Wait until the two instant cells have landed.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var cur status
+		_, body := d.get("/v1/jobs/" + st.ID)
+		if err := json.Unmarshal(body, &cur); err != nil {
+			t.Fatal(err)
+		}
+		if cur.CellsDone >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never completed its first two cells: %+v", cur)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Drain. The blocked cells outlive the 100ms drain budget, so the
+	// daemon cancels them and leaves the job checkpointed.
+	d.shutdown()
+
+	select {
+	case events := <-streamDone:
+		found := false
+		for _, e := range events {
+			if e == "terminal" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("SSE subscriber finished without a terminal event: %v", events)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("SSE stream not flushed by drain")
+	}
+
+	// The journal must still carry the job as non-terminal (running), so
+	// the next daemon re-queues it.
+	jn, err := openJournal(dir + "/jobs.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := jn.records()
+	jn.close()
+	if len(recs) != 1 || terminalState(recs[0].State) {
+		t.Fatalf("journal after drain: %+v; want one non-terminal record", recs)
+	}
+
+	// A new daemon on the same dir resumes: the two completed cells come
+	// from the checkpoint store, only the remaining two execute.
+	already := executed.Load()
+	close(release)
+	d2 := startDaemon(t, Config{DataDir: dir, Workers: 1}, instantCell)
+	fin := d2.await(st.ID)
+	if fin.State != StateDone || fin.CellsDone != 4 {
+		t.Fatalf("resumed job finished %+v", fin)
+	}
+	var doc exportDoc
+	if err := json.Unmarshal(d2.results(st.ID), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Cells) != 4 {
+		t.Fatalf("resumed export has %d cells; want 4", len(doc.Cells))
+	}
+	if already != 2 {
+		t.Fatalf("pre-drain process executed %d cells; want 2", already)
+	}
+}
+
+// TestDrainingRejectsSubmissions verifies the admission side of drain.
+func TestDrainingRejectsSubmissions(t *testing.T) {
+	d := startDaemon(t, Config{}, instantCell)
+	d.s.mu.Lock()
+	d.s.draining = true
+	d.s.mu.Unlock()
+	code, body := d.post("/v1/jobs", `{"mixes":["HM1"],"schemes":["CAMPS-MOD"]}`)
+	if code != http.StatusServiceUnavailable || reason(body) != ReasonDraining {
+		t.Fatalf("submit while draining: %d %s; want 503 draining", code, body)
+	}
+	d.s.mu.Lock()
+	d.s.draining = false
+	d.s.mu.Unlock()
+}
