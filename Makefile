@@ -11,7 +11,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build vet test race orchestration observability serve serve-smoke lint lint-parallel-readiness lint-tools fuzz-smoke fault-smoke verify bench bench-json bench-check figures clean
+.PHONY: build vet test race orchestration observability serve serve-smoke lint lint-parallel-readiness lint-tools fuzz-smoke fault-smoke parallel-differential verify bench bench-json bench-check bench-parallel figures clean
 
 build:
 	$(GO) build ./...
@@ -101,7 +101,14 @@ fault-smoke:
 		-faults 'linkcrc=1e-3,stall=1e-4,poison=2e-3,bankfail=100us,bankfor=2us' \
 		-check -timeout 10s >/dev/null
 
-verify: build vet race orchestration observability serve lint fault-smoke serve-smoke
+# The sharded-engine determinism contract: every (mix, fault, workers)
+# cell of the differential matrix must export byte-identical Results to
+# the serial engine. Uncached, and under -race, so a scheduling leak in
+# the window/barrier protocol cannot hide.
+parallel-differential:
+	$(GO) test -race -count=1 -run TestParallelMatchesSerial .
+
+verify: build vet race orchestration observability serve lint parallel-differential fault-smoke serve-smoke
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
@@ -120,6 +127,12 @@ bench-check:
 	@test -n "$(BENCH_BASELINE)" || { echo "bench-check: no BENCH_*.json baseline found"; exit 1; }
 	$(GO) run ./cmd/campbench -bench -bench-count 3 -bench-out "" \
 		-bench-baseline $(BENCH_BASELINE)
+
+# Worker-count scaling rows only (parallel-w*), best of 3, against the
+# committed baseline when one exists. Wall-clock scaling needs real
+# cores: on a single-CPU host these rows only measure barrier overhead.
+bench-parallel:
+	$(GO) run ./cmd/campbench -bench -bench-count 3 -bench-out "" -bench-match 'parallel-'
 
 figures:
 	$(GO) run ./cmd/campbench

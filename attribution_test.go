@@ -2,6 +2,7 @@ package camps_test
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"net/http"
 	"strings"
@@ -25,7 +26,7 @@ func TestAttributionEndToEnd(t *testing.T) {
 	rc.Obs = suite
 	rc.EpochInterval = 2 * sim.Microsecond
 	rc.CheckInvariants = true // includes the span-attribution invariant
-	res, err := camps.Run(rc)
+	res, err := camps.RunContext(context.Background(), rc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestAttributionEndToEnd(t *testing.T) {
 // TestAttributionDoesNotPerturbSimulation: attribution is pure
 // observation — enabling it must not change any simulated outcome.
 func TestAttributionDoesNotPerturbSimulation(t *testing.T) {
-	plain, err := camps.Run(quick("MX1", camps.CAMPSMOD))
+	plain, err := camps.RunContext(context.Background(), quick("MX1", camps.CAMPSMOD))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestAttributionDoesNotPerturbSimulation(t *testing.T) {
 	suite := obs.NewSuite(0)
 	suite.EnableAttribution(camps.CAMPSMOD.String())
 	rc.Obs = suite
-	attributed, err := camps.Run(rc)
+	attributed, err := camps.RunContext(context.Background(), rc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestMetricsStreamEndToEnd(t *testing.T) {
 	suite.OnSnapshot = srv.Publish
 	rc.Obs = suite
 	rc.EpochInterval = 2 * sim.Microsecond
-	if _, err := camps.Run(rc); err != nil {
+	if _, err := camps.RunContext(context.Background(), rc); err != nil {
 		t.Fatal(err)
 	}
 

@@ -11,6 +11,7 @@
 package camps_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -29,7 +30,7 @@ func benchRun(b *testing.B, sys camps.SystemConfig, mixID string, s camps.Scheme
 	if err != nil {
 		b.Fatal(err)
 	}
-	res, err := camps.Run(camps.RunConfig{
+	res, err := camps.RunContext(context.Background(), camps.RunConfig{
 		System:       sys,
 		Scheme:       s,
 		Mix:          mix,

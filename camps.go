@@ -6,14 +6,14 @@
 // buffers.
 //
 // The package is the public API over the internal substrates: configure a
-// run with RunConfig, execute it with Run, and read the paper's metrics
-// from Results. The five prefetching schemes of the paper's evaluation
-// (BASE, BASE-HIT, MMD, CAMPS, CAMPS-MOD) are selected per run.
+// run with RunConfig, execute it with RunContext, and read the paper's
+// metrics from Results. The five prefetching schemes of the paper's
+// evaluation (BASE, BASE-HIT, MMD, CAMPS, CAMPS-MOD) are selected per run.
 //
 // Quick start:
 //
 //	mix, _ := camps.MixByID("HM1")
-//	res, err := camps.Run(camps.RunConfig{
+//	res, err := camps.RunContext(context.Background(), camps.RunConfig{
 //		Scheme: camps.CAMPSMOD,
 //		Mix:    mix,
 //	})
@@ -160,6 +160,14 @@ type RunConfig struct {
 	// invariants are validated, and a violation halts the run with an
 	// error matching ErrInvariant instead of producing corrupt results.
 	CheckInvariants bool
+	// Workers selects the execution engine: 0 or 1 runs the serial event
+	// engine (the default); N > 1 shards the vault controllers over N-1
+	// worker goroutines coordinated by the caller's goroutine, using the
+	// conservative lookahead windows of sim.RunParallel. Results are
+	// byte-identical to the serial engine at every worker count (the
+	// differential determinism suite enforces this); only wall-clock
+	// changes. Values beyond 1+vaults clamp.
+	Workers int
 }
 
 // FaultSpec re-exports the fault-injection spec for RunConfig.Faults.
@@ -310,13 +318,6 @@ func (m cubeMemory) WriteLine(addr uint64) {
 	m.cube.Access(hmc.Address(addr), true, nil)
 }
 
-// Run executes one simulation and returns its measurements. It is
-// RunContext with a background context: it cannot be cancelled.
-func Run(rc RunConfig) (Results, error) {
-	//lint:allow-noctx Run is the documented context-free entry point; cancellable callers use RunContext
-	return RunContext(context.Background(), rc)
-}
-
 // RunContext executes one simulation under ctx and returns its
 // measurements. Cancellation is honored at engine-epoch granularity: a
 // daemon watcher polls ctx every EpochInterval of simulated time (default
@@ -365,7 +366,21 @@ func RunContext(ctx context.Context, rc RunConfig) (Results, error) {
 	}
 
 	eng := sim.NewEngine()
-	cube := hmc.NewCube(eng, rc.System, rc.Scheme)
+	var cube *hmc.Cube
+	var shardRT *hmc.ShardRuntime
+	if nshards := rc.Workers - 1; nshards > 0 {
+		if v := rc.System.HMC.Vaults; nshards > v {
+			nshards = v
+		}
+		shardEngs := make([]*sim.Engine, nshards)
+		for i := range shardEngs {
+			shardEngs[i] = sim.NewEngine()
+		}
+		cube, shardRT = hmc.NewCubeSharded(eng, rc.System, rc.Scheme,
+			shardEngs, hmc.PlanShards(rc.System.HMC.Vaults, nshards))
+	} else {
+		cube = hmc.NewCube(eng, rc.System, rc.Scheme)
+	}
 	// Fault injection: all schedules derive from (Seed, Faults.Seed), so
 	// reruns with the same pair see identical faults. A disabled spec wires
 	// nothing, keeping the fault-free fast path untouched.
@@ -462,10 +477,46 @@ func RunContext(ctx context.Context, rc RunConfig) (Results, error) {
 		}
 		sim.NewHaltWatcher(eng, interval, func() bool { return ctx.Err() != nil })
 	}
+	// Parallel mode: give each vault shard private observability
+	// instances (tracer ring, prefetch ledger) and pin the span pool so
+	// no obs structure is written from two shards. Everything folds back
+	// into the suite after the run.
+	var shardTracers []*obs.Tracer
+	var shardLedgers []*obs.PrefetchLedger
+	if shardRT != nil {
+		if rc.Obs != nil {
+			shardTracers = rc.Obs.ShardTracers(shardRT.Shards())
+			shardLedgers = rc.Obs.ShardLedgers(shardRT.Shards())
+			cube.SetShardObs(shardTracers, shardLedgers)
+		}
+		if rc.Obs.AttributionEnabled() {
+			// Far above the structural in-flight bound (MSHR entries plus
+			// coalesced secondaries and overflow); Begin fails loudly if
+			// the bound is ever wrong.
+			rc.Obs.Spans.Reserve(1 << 14)
+		}
+	}
 	for _, c := range cpus {
 		c.Start()
 	}
-	eng.Run()
+	if shardRT != nil {
+		// Window = half the minimum cross-shard response latency: the
+		// skewed pipeline needs no request-side lookahead at all, and
+		// responses come due at least two windows after the vault window
+		// that produced them. See sim.RunParallel and DESIGN.md §10.
+		sim.RunParallel(ctx, eng, shardRT.Engines(), hmc.ResponseLookahead(rc.System)/2, shardRT)
+	} else {
+		eng.Run()
+	}
+	if shardRT != nil && rc.Obs != nil {
+		rc.Obs.MergeShardTracers(shardTracers)
+		// The shard ledgers are NOT merged here: cube.Flush() below still
+		// classifies every row resident in a prefetch buffer at halt, and
+		// the buffers write those verdicts into their attached (per-shard)
+		// ledgers. Merging happens after Flush, right before the summary
+		// is built, so the parallel ledger covers exactly what serial's
+		// does.
+	}
 	if err := ctx.Err(); err != nil {
 		return Results{}, fmt.Errorf("camps: run cancelled at %v simulated: %w", eng.Now(), err)
 	}
@@ -504,6 +555,11 @@ func RunContext(ctx context.Context, rc RunConfig) (Results, error) {
 	res.GeoMeanIPC = stats.GeoMean(res.IPC)
 
 	cube.Flush()
+	if shardRT != nil && rc.Obs != nil {
+		// Deferred from the post-run merge above: Flush has now recorded
+		// the halt-resident buffer rows into the per-shard ledgers.
+		rc.Obs.MergeShardLedgers(shardLedgers)
+	}
 	vs := cube.VaultStats()
 	res.VaultStats = vs
 	for i := 0; i < cube.Vaults(); i++ {

@@ -1,6 +1,7 @@
 package camps_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -23,7 +24,7 @@ func quick(mixID string, s camps.Scheme) camps.RunConfig {
 }
 
 func TestRunProducesCompleteResults(t *testing.T) {
-	res, err := camps.Run(quick("MX1", camps.CAMPSMOD))
+	res, err := camps.RunContext(context.Background(), quick("MX1", camps.CAMPSMOD))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,11 +66,11 @@ func TestRunProducesCompleteResults(t *testing.T) {
 }
 
 func TestRunDeterministicForSeed(t *testing.T) {
-	a, err := camps.Run(quick("LM2", camps.CAMPS))
+	a, err := camps.RunContext(context.Background(), quick("LM2", camps.CAMPS))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := camps.Run(quick("LM2", camps.CAMPS))
+	b, err := camps.RunContext(context.Background(), quick("LM2", camps.CAMPS))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestRunDeterministicForSeed(t *testing.T) {
 	}
 	rc := quick("LM2", camps.CAMPS)
 	rc.Seed = 99
-	c, err := camps.Run(rc)
+	c, err := camps.RunContext(context.Background(), rc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestRunDeterministicForSeed(t *testing.T) {
 }
 
 func TestBaseSchemeHasNoRowConflicts(t *testing.T) {
-	res, err := camps.Run(quick("LM1", camps.BASE))
+	res, err := camps.RunContext(context.Background(), quick("LM1", camps.BASE))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestCAMPSBeatsOpenPageSchemesOnConflictTraffic(t *testing.T) {
 	for i, s := range camps.Schemes() {
 		rc := quick("HM1", s)
 		rc.MeasureInstr = 150_000
-		res, err := camps.Run(rc)
+		res, err := camps.RunContext(context.Background(), rc)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -139,7 +140,7 @@ func TestHighIntensityMixHasHigherMPKI(t *testing.T) {
 	run := func(mix string) camps.Results {
 		rc := quick(mix, camps.CAMPS)
 		rc.WarmupRefs = 40_000 // LM working sets must be cache-resident
-		res, err := camps.Run(rc)
+		res, err := camps.RunContext(context.Background(), rc)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -170,7 +171,7 @@ func TestRunWithCustomReaders(t *testing.T) {
 		}
 		readers[core] = trace.NewSliceReader(recs)
 	}
-	res, err := camps.Run(camps.RunConfig{
+	res, err := camps.RunContext(context.Background(), camps.RunConfig{
 		Scheme:       camps.BASE,
 		Readers:      readers,
 		WarmupRefs:   100,
@@ -186,7 +187,7 @@ func TestRunWithCustomReaders(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	// Mismatched reader count.
-	_, err := camps.Run(camps.RunConfig{
+	_, err := camps.RunContext(context.Background(), camps.RunConfig{
 		Scheme:  camps.BASE,
 		Readers: []trace.Reader{trace.NewSliceReader(nil)},
 	})
@@ -197,11 +198,11 @@ func TestRunValidation(t *testing.T) {
 	cfg := camps.DefaultSystem()
 	cfg.HMC.Vaults = 3
 	mix, _ := camps.MixByID("HM1")
-	if _, err := camps.Run(camps.RunConfig{System: cfg, Scheme: camps.BASE, Mix: mix}); err == nil {
+	if _, err := camps.RunContext(context.Background(), camps.RunConfig{System: cfg, Scheme: camps.BASE, Mix: mix}); err == nil {
 		t.Fatal("accepted invalid system config")
 	}
 	// Empty mix and no readers.
-	if _, err := camps.Run(camps.RunConfig{Scheme: camps.BASE}); err == nil {
+	if _, err := camps.RunContext(context.Background(), camps.RunConfig{Scheme: camps.BASE}); err == nil {
 		t.Fatal("accepted empty mix")
 	}
 }
@@ -231,7 +232,7 @@ func TestMixAccessors(t *testing.T) {
 }
 
 func TestEnergyBreakdownConsistency(t *testing.T) {
-	res, err := camps.Run(quick("MX2", camps.BASE))
+	res, err := camps.RunContext(context.Background(), quick("MX2", camps.BASE))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func TestExtensionMixesThroughFacade(t *testing.T) {
 		MeasureInstr: 40_000,
 	}
 	rc.Mix = ms[0]
-	res, err := camps.Run(rc)
+	res, err := camps.RunContext(context.Background(), rc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +274,7 @@ func TestExtensionMixesThroughFacade(t *testing.T) {
 }
 
 func TestLatencyQuantilesOrdered(t *testing.T) {
-	res, err := camps.Run(quick("HM3", camps.MMD))
+	res, err := camps.RunContext(context.Background(), quick("HM3", camps.MMD))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +288,7 @@ func TestLatencyQuantilesOrdered(t *testing.T) {
 }
 
 func TestPerVaultSummaries(t *testing.T) {
-	res, err := camps.Run(quick("MX2", camps.CAMPS))
+	res, err := camps.RunContext(context.Background(), quick("MX2", camps.CAMPS))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +307,7 @@ func TestPerVaultSummaries(t *testing.T) {
 }
 
 func TestCacheSummaryRates(t *testing.T) {
-	res, err := camps.Run(quick("LM4", camps.BASE))
+	res, err := camps.RunContext(context.Background(), quick("LM4", camps.BASE))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +328,7 @@ func TestAllSchemesRunThroughFacade(t *testing.T) {
 	for _, s := range camps.AllSchemes() {
 		rc := quick("LM1", s)
 		rc.MeasureInstr = 25_000
-		res, err := camps.Run(rc)
+		res, err := camps.RunContext(context.Background(), rc)
 		if err != nil {
 			t.Fatalf("%v: %v", s, err)
 		}

@@ -9,15 +9,18 @@
 // region). It runs -bench-count times and the best run (highest events/sec)
 // is reported, which discards scheduler noise and cold-cache effects the
 // same way `go test -bench` users take the best of -count runs. Allocation
-// figures come from runtime.MemStats deltas around the same run; the
-// simulation is single-threaded, so the deltas are exact.
+// figures come from runtime.MemStats deltas around the same run; nothing
+// else allocates concurrently (the parallel scenarios' worker goroutines
+// are part of the run), so the deltas are exact.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"camps"
@@ -34,11 +37,12 @@ const regressionTolerance = 0.15
 // simulator's distinct hot-path mixes: the default CAMPS-MOD system, the
 // prefetch-free path, and a latency-bound low-memory-intensity workload.
 type benchScenario struct {
-	Name   string
-	Mix    string
-	Scheme camps.Scheme
-	Instr  uint64
-	Warmup uint64
+	Name    string
+	Mix     string
+	Scheme  camps.Scheme
+	Instr   uint64
+	Warmup  uint64
+	Workers int // 0/1 = serial engine; N>1 = sharded parallel engine
 }
 
 func benchScenarios() []benchScenario {
@@ -50,6 +54,13 @@ func benchScenarios() []benchScenario {
 		// the full demand stream, so it bounds the engine-side overhead of
 		// the registry redesign.
 		{Name: "hybrid", Mix: "MX1", Scheme: camps.HYBRID, Instr: 200_000, Warmup: 20_000},
+		// Worker-count matrix on the default scenario: the same simulation
+		// on the sharded parallel engine. Results are bit-identical to
+		// "default" (the differential suite asserts it); these rows track
+		// the throughput scaling of the shard runtime itself.
+		{Name: "parallel-w2", Mix: "MX1", Scheme: camps.CAMPSMOD, Instr: 200_000, Warmup: 20_000, Workers: 2},
+		{Name: "parallel-w4", Mix: "MX1", Scheme: camps.CAMPSMOD, Instr: 200_000, Warmup: 20_000, Workers: 4},
+		{Name: "parallel-w8", Mix: "MX1", Scheme: camps.CAMPSMOD, Instr: 200_000, Warmup: 20_000, Workers: 8},
 	}
 }
 
@@ -60,6 +71,7 @@ type benchResult struct {
 	Name         string  `json:"name"`
 	Mix          string  `json:"mix"`
 	Scheme       string  `json:"scheme"`
+	Workers      int     `json:"workers,omitempty"`
 	Instructions uint64  `json:"instructions"`
 	Events       uint64  `json:"events"`
 	SimPS        int64   `json:"sim_ps"`
@@ -79,10 +91,11 @@ type benchFile struct {
 	Scenarios []benchResult `json:"scenarios"`
 }
 
-// runBenchmarks executes every scenario count times, reports the best run
-// of each, writes outPath, and compares against baselinePath when given.
-// It returns false if the regression gate failed.
-func runBenchmarks(outPath, baselinePath string, count int, seed uint64) bool {
+// runBenchmarks executes every scenario (filtered to names containing
+// match, when non-empty) count times, reports the best run of each,
+// writes outPath, and compares against baselinePath when given. It
+// returns false if the regression gate failed.
+func runBenchmarks(outPath, baselinePath, match string, count int, seed uint64) bool {
 	if count < 1 {
 		count = 1
 	}
@@ -94,6 +107,9 @@ func runBenchmarks(outPath, baselinePath string, count int, seed uint64) bool {
 		Count:     count,
 	}
 	for _, sc := range benchScenarios() {
+		if match != "" && !strings.Contains(sc.Name, match) {
+			continue
+		}
 		best, err := benchOne(sc, count, seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "campbench: scenario %s: %v\n", sc.Name, err)
@@ -136,6 +152,7 @@ func benchOne(sc benchScenario, count int, seed uint64) (benchResult, error) {
 		Seed:         seed,
 		WarmupRefs:   sc.Warmup,
 		MeasureInstr: sc.Instr,
+		Workers:      sc.Workers,
 	}
 	var best benchResult
 	for i := 0; i < count; i++ {
@@ -143,7 +160,7 @@ func benchOne(sc benchScenario, count int, seed uint64) (benchResult, error) {
 		runtime.GC()
 		runtime.ReadMemStats(&before)
 		t0 := time.Now()
-		res, err := camps.Run(rc)
+		res, err := camps.RunContext(context.Background(), rc)
 		wall := time.Since(t0)
 		if err != nil {
 			return benchResult{}, err
@@ -153,6 +170,7 @@ func benchOne(sc benchScenario, count int, seed uint64) (benchResult, error) {
 			Name:         sc.Name,
 			Mix:          sc.Mix,
 			Scheme:       sc.Scheme.String(),
+			Workers:      sc.Workers,
 			Instructions: res.Instructions,
 			Events:       res.EventsFired,
 			SimPS:        int64(res.ElapsedSim),

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -65,6 +66,7 @@ func main() {
 		benchOut      = flag.String("bench-out", "", "benchmark output file (default BENCH_<date>.json; empty in gate-only runs to skip writing: use -bench-out \"\" explicitly)")
 		benchCount    = flag.Int("bench-count", 3, "runs per benchmark scenario; the best is reported")
 		benchBaseline = flag.String("bench-baseline", "", "baseline BENCH_*.json to gate against (>15% events/sec loss fails)")
+		benchMatch    = flag.String("bench-match", "", "run only scenarios whose name contains this substring")
 	)
 	flag.Parse()
 	if *version {
@@ -76,7 +78,7 @@ func main() {
 		if out == "" && !flagSet("bench-out") {
 			out = "BENCH_" + time.Now().Format("2006-01-02") + ".json"
 		}
-		if !runBenchmarks(out, *benchBaseline, *benchCount, *seed) {
+		if !runBenchmarks(out, *benchBaseline, *benchMatch, *benchCount, *seed) {
 			os.Exit(1)
 		}
 		return
@@ -128,7 +130,7 @@ func main() {
 	for i := range seedList {
 		seedList[i] = *seed + uint64(i)
 	}
-	grids, err := harness.RunSeeds(opts, seedList)
+	grids, err := harness.RunSeeds(context.Background(), opts, seedList)
 	if err != nil {
 		log.Fatal(err)
 	}

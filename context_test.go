@@ -14,7 +14,7 @@ import (
 
 func TestRunContextBackgroundMatchesRun(t *testing.T) {
 	rc := quick("HM1", camps.CAMPS)
-	a, err := camps.Run(rc)
+	a, err := camps.RunContext(context.Background(), rc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func (c *pollCtx) Err() error {
 
 func TestRunContextHaltsWithinOneEpoch(t *testing.T) {
 	// Baseline: how long the run takes unperturbed.
-	full, err := camps.Run(quick("HM1", camps.BASE))
+	full, err := camps.RunContext(context.Background(), quick("HM1", camps.BASE))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestTypedErrors(t *testing.T) {
 	rc := quick("HM1", camps.BASE)
 	rc.System = camps.DefaultSystem()
 	rc.System.Processor.Cores = -1
-	_, err := camps.Run(rc)
+	_, err := camps.RunContext(context.Background(), rc)
 	if err == nil || !errors.Is(err, camps.ErrInvalidConfig) {
 		t.Fatalf("err = %v, want ErrInvalidConfig match", err)
 	}
@@ -124,7 +124,7 @@ func TestTypedErrors(t *testing.T) {
 	// Mix/core mismatch.
 	rc2 := quick("HM1", camps.BASE)
 	rc2.Mix.Benchmarks = rc2.Mix.Benchmarks[:3]
-	_, err = camps.Run(rc2)
+	_, err = camps.RunContext(context.Background(), rc2)
 	if err == nil || !errors.Is(err, camps.ErrMixCoreMismatch) {
 		t.Fatalf("err = %v, want ErrMixCoreMismatch match", err)
 	}

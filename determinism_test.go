@@ -2,6 +2,7 @@ package camps_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -36,11 +37,11 @@ func goldenRun() camps.RunConfig {
 //	UPDATE_GOLDEN=1 go test -run TestSameSeedExportByteIdentical .
 func TestSameSeedExportByteIdentical(t *testing.T) {
 	rc := goldenRun()
-	a, err := camps.Run(rc)
+	a, err := camps.RunContext(context.Background(), rc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := camps.Run(rc)
+	b, err := camps.RunContext(context.Background(), rc)
 	if err != nil {
 		t.Fatal(err)
 	}

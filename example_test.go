@@ -1,6 +1,7 @@
 package camps_test
 
 import (
+	"context"
 	"fmt"
 
 	"camps"
@@ -33,7 +34,7 @@ func ExampleMixByID() {
 // depend on the simulator version, so only structural facts are printed.
 func ExampleRun() {
 	mix, _ := camps.MixByID("LM1")
-	res, err := camps.Run(camps.RunConfig{
+	res, err := camps.RunContext(context.Background(), camps.RunConfig{
 		Scheme:       camps.CAMPSMOD,
 		Mix:          mix,
 		WarmupRefs:   2_000,

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -54,7 +55,7 @@ func main() {
 			}
 			readers[core] = g
 		}
-		res, err := camps.Run(camps.RunConfig{
+		res, err := camps.RunContext(context.Background(), camps.RunConfig{
 			Scheme:       s,
 			Readers:      readers,
 			MeasureInstr: 200_000,

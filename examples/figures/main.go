@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,7 +18,7 @@ func main() {
 
 	hm1, _ := workload.MixByID("HM1")
 	mx1, _ := workload.MixByID("MX1")
-	grid, err := harness.Run(harness.Options{
+	grid, err := harness.RunContext(context.Background(), harness.Options{
 		Mixes:        []workload.Mix{hm1, mx1},
 		MeasureInstr: 150_000, // reduced budget: this is a demo
 		Progress: func(cr harness.CellResult) {

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func main() {
 		var ipc [2]float64
 		var acc [2]float64
 		for i, s := range []camps.Scheme{camps.CAMPS, camps.CAMPSMOD} {
-			res, err := camps.Run(camps.RunConfig{
+			res, err := camps.RunContext(context.Background(), camps.RunConfig{
 				System:       sys,
 				Scheme:       s,
 				Mix:          mix,

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,7 +21,7 @@ func main() {
 	}
 
 	run := func(s camps.Scheme) camps.Results {
-		res, err := camps.Run(camps.RunConfig{
+		res, err := camps.RunContext(context.Background(), camps.RunConfig{
 			Scheme:       s,
 			Mix:          mix,
 			MeasureInstr: 200_000, // scaled-down measured region for a quick demo

@@ -2,6 +2,7 @@ package camps_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"testing"
@@ -23,13 +24,13 @@ func degraded() camps.FaultSpec {
 }
 
 func TestRunZeroFaultSpecMatchesDisabled(t *testing.T) {
-	base, err := camps.Run(quick("MX1", camps.CAMPS))
+	base, err := camps.RunContext(context.Background(), quick("MX1", camps.CAMPS))
 	if err != nil {
 		t.Fatal(err)
 	}
 	rc := quick("MX1", camps.CAMPS)
 	rc.Faults = camps.FaultSpec{Seed: 7} // all rates zero: must be inert
-	zero, err := camps.Run(rc)
+	zero, err := camps.RunContext(context.Background(), rc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestRunFaultsDeterministic(t *testing.T) {
 		rc.Faults = degraded()
 		rc.Faults.Seed = faultSeed
 		rc.CheckInvariants = true
-		res, err := camps.Run(rc)
+		res, err := camps.RunContext(context.Background(), rc)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,7 +82,7 @@ func TestRunFaultsMetricsExportByteIdentical(t *testing.T) {
 		rc.Faults = degraded()
 		rc.Obs = obs.NewSuite(0)
 		rc.EpochInterval = 10 * sim.Microsecond
-		if _, err := camps.Run(rc); err != nil {
+		if _, err := camps.RunContext(context.Background(), rc); err != nil {
 			t.Fatal(err)
 		}
 		var buf bytes.Buffer
@@ -120,14 +121,14 @@ func TestRunFaultsMetricsExportByteIdentical(t *testing.T) {
 }
 
 func TestRunDegradedStillCompletes(t *testing.T) {
-	clean, err := camps.Run(quick("HM2", camps.CAMPS))
+	clean, err := camps.RunContext(context.Background(), quick("HM2", camps.CAMPS))
 	if err != nil {
 		t.Fatal(err)
 	}
 	rc := quick("HM2", camps.CAMPS)
 	rc.Faults = degraded()
 	rc.CheckInvariants = true
-	hurt, err := camps.Run(rc)
+	hurt, err := camps.RunContext(context.Background(), rc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestRunDegradedStillCompletes(t *testing.T) {
 func TestRunInvariantCheckedCleanRun(t *testing.T) {
 	rc := quick("LM1", camps.BASE)
 	rc.CheckInvariants = true
-	if _, err := camps.Run(rc); err != nil {
+	if _, err := camps.RunContext(context.Background(), rc); err != nil {
 		t.Fatalf("clean run tripped an invariant: %v", err)
 	}
 }
@@ -155,7 +156,7 @@ func TestRunInvariantCheckedCleanRun(t *testing.T) {
 func TestRunRejectsBadFaultSpec(t *testing.T) {
 	rc := quick("MX1", camps.CAMPS)
 	rc.Faults.LinkCRCRate = 1.5 // probabilities live in [0,1]
-	_, err := camps.Run(rc)
+	_, err := camps.RunContext(context.Background(), rc)
 	if err == nil {
 		t.Fatal("invalid fault spec accepted")
 	}

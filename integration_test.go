@@ -1,6 +1,7 @@
 package camps_test
 
 import (
+	"context"
 	"testing"
 
 	"camps"
@@ -10,7 +11,7 @@ import (
 // the cores issue is observed by the cube's vaults, and every demand
 // request resolves exactly once (buffer hit or bank access).
 func TestTrafficConservation(t *testing.T) {
-	res, err := camps.Run(quick("MX3", camps.CAMPS))
+	res, err := camps.RunContext(context.Background(), quick("MX3", camps.CAMPS))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestTrafficConservation(t *testing.T) {
 // exceed inserts.
 func TestPrefetchAccountingClosed(t *testing.T) {
 	for _, s := range []camps.Scheme{camps.BASE, camps.CAMPSMOD} {
-		res, err := camps.Run(quick("HM4", s))
+		res, err := camps.RunContext(context.Background(), quick("HM4", s))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -67,7 +68,7 @@ func TestPrefetchAccountingClosed(t *testing.T) {
 // TestAMATWithinPhysicalBounds: no read can complete faster than the
 // no-contention path, nor slower than a gross upper bound.
 func TestAMATWithinPhysicalBounds(t *testing.T) {
-	res, err := camps.Run(quick("LM2", camps.MMD))
+	res, err := camps.RunContext(context.Background(), quick("LM2", camps.MMD))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestAMATWithinPhysicalBounds(t *testing.T) {
 func TestSchemesShareDemandProfile(t *testing.T) {
 	var reads []float64
 	for _, s := range camps.Schemes() {
-		res, err := camps.Run(quick("HM2", s))
+		res, err := camps.RunContext(context.Background(), quick("HM2", s))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -106,11 +107,11 @@ func TestEnergyScalesWithWork(t *testing.T) {
 	small := quick("MX4", camps.CAMPS)
 	big := quick("MX4", camps.CAMPS)
 	big.MeasureInstr = 2 * small.MeasureInstr
-	rs, err := camps.Run(small)
+	rs, err := camps.RunContext(context.Background(), small)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := camps.Run(big)
+	rb, err := camps.RunContext(context.Background(), big)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestWindowSizeSensitivity(t *testing.T) {
 		sys := camps.DefaultSystem()
 		sys.Processor.WindowSize = window
 		rc.System = sys
-		res, err := camps.Run(rc)
+		res, err := camps.RunContext(context.Background(), rc)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -152,7 +153,7 @@ func TestNonDefaultGeometry(t *testing.T) {
 	sys.PFBuffer.SizeBytes = 16 * 2048
 	rc := quick("MX2", camps.CAMPSMOD)
 	rc.System = sys
-	res, err := camps.Run(rc)
+	res, err := camps.RunContext(context.Background(), rc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestCoreSidePrefetcherWorksEndToEnd(t *testing.T) {
 		sys := camps.DefaultSystem()
 		sys.Processor.L2PrefetchDegree = degree
 		rc.System = sys
-		res, err := camps.Run(rc)
+		res, err := camps.RunContext(context.Background(), rc)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -194,11 +195,11 @@ func TestGoldenDeterminism(t *testing.T) {
 	}
 	mix, _ := camps.MixByID("MX1")
 	rc.Mix = mix
-	a, err := camps.Run(rc)
+	a, err := camps.RunContext(context.Background(), rc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := camps.Run(rc)
+	b, err := camps.RunContext(context.Background(), rc)
 	if err != nil {
 		t.Fatal(err)
 	}

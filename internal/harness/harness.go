@@ -71,12 +71,6 @@ type Grid struct {
 	cells   map[string]map[camps.Scheme]camps.Results
 }
 
-// Run executes the grid. It is RunContext with a background context.
-func Run(opts Options) (*Grid, error) {
-	//lint:allow-noctx Run is the documented context-free entry point; cancellable callers use RunContext
-	return RunContext(context.Background(), opts)
-}
-
 // RunContext executes the grid under ctx. Cancellation propagates into
 // every in-flight simulation (which stops within one epoch of simulated
 // time) and surfaces as an error wrapping ctx.Err().

@@ -16,7 +16,7 @@ func smallGrid(t *testing.T) *Grid {
 	t.Helper()
 	hm1, _ := workload.MixByID("HM1")
 	lm1, _ := workload.MixByID("LM1")
-	g, err := Run(Options{
+	g, err := RunContext(context.Background(), Options{
 		Mixes:        []workload.Mix{hm1, lm1},
 		WarmupRefs:   5_000,
 		MeasureInstr: 50_000,
@@ -108,7 +108,7 @@ func TestHeadlineOrderingAtTestScale(t *testing.T) {
 	// Run the high-signal mix at a budget where the paper's ordering is
 	// stable: CAMPS-MOD above BASE-HIT and MMD on speedup.
 	hm1, _ := workload.MixByID("HM1")
-	g, err := Run(Options{
+	g, err := RunContext(context.Background(), Options{
 		Mixes:        []workload.Mix{hm1},
 		WarmupRefs:   5_000,
 		MeasureInstr: 150_000,
@@ -137,7 +137,7 @@ func TestHeadlineOrderingAtTestScale(t *testing.T) {
 func TestGridDeterministicAcrossParallelism(t *testing.T) {
 	mx1, _ := workload.MixByID("MX1")
 	run := func(par int) camps.Results {
-		g, err := Run(Options{
+		g, err := RunContext(context.Background(), Options{
 			Mixes:        []workload.Mix{mx1},
 			Schemes:      []camps.Scheme{camps.CAMPS},
 			WarmupRefs:   2_000,
@@ -158,7 +158,7 @@ func TestGridDeterministicAcrossParallelism(t *testing.T) {
 
 func TestSchemeSubsetGrid(t *testing.T) {
 	lm4, _ := workload.MixByID("LM4")
-	g, err := Run(Options{
+	g, err := RunContext(context.Background(), Options{
 		Mixes:        []workload.Mix{lm4},
 		Schemes:      []camps.Scheme{camps.BASE, camps.CAMPSMOD},
 		WarmupRefs:   2_000,
@@ -214,7 +214,7 @@ func TestRunSeedsAndAverages(t *testing.T) {
 		WarmupRefs:   2_000,
 		MeasureInstr: 25_000,
 	}
-	grids, err := RunSeeds(opts, []uint64{1, 2})
+	grids, err := RunSeeds(context.Background(), opts, []uint64{1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +239,7 @@ func TestRunSeedsAndAverages(t *testing.T) {
 	if spread.Value(0, 0) != 0 {
 		t.Fatalf("BASE spread = %g, want 0", spread.Value(0, 0))
 	}
-	if _, err := RunSeeds(opts, nil); err == nil {
+	if _, err := RunSeeds(context.Background(), opts, nil); err == nil {
 		t.Fatal("RunSeeds accepted no seeds")
 	}
 	if _, err := FigureAcrossSeeds(grids, 3); err == nil {
@@ -272,7 +272,7 @@ func TestAverageTablesValidation(t *testing.T) {
 func TestProgressReceivesCellResults(t *testing.T) {
 	hm1, _ := workload.MixByID("HM1")
 	var cells []CellResult
-	_, err := Run(Options{
+	_, err := RunContext(context.Background(), Options{
 		Mixes:        []workload.Mix{hm1},
 		Schemes:      []camps.Scheme{camps.BASE, camps.CAMPSMOD},
 		WarmupRefs:   2_000,

@@ -1,14 +1,16 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"camps/internal/stats"
 )
 
-// RunSeeds executes the grid once per seed, for statistical confidence in
-// the synthetic-workload setting (each seed draws independent traces).
-func RunSeeds(opts Options, seeds []uint64) ([]*Grid, error) {
+// RunSeeds executes the grid once per seed under ctx, for statistical
+// confidence in the synthetic-workload setting (each seed draws
+// independent traces).
+func RunSeeds(ctx context.Context, opts Options, seeds []uint64) ([]*Grid, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("harness: RunSeeds needs at least one seed")
 	}
@@ -16,7 +18,7 @@ func RunSeeds(opts Options, seeds []uint64) ([]*Grid, error) {
 	for _, seed := range seeds {
 		o := opts
 		o.Seed = seed
-		g, err := Run(o)
+		g, err := RunContext(ctx, o)
 		if err != nil {
 			return nil, fmt.Errorf("seed %d: %w", seed, err)
 		}

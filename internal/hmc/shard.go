@@ -1,0 +1,311 @@
+package hmc
+
+import (
+	"camps/internal/config"
+	"camps/internal/obs"
+	"camps/internal/prefetch"
+	"camps/internal/sim"
+	"camps/internal/vault"
+)
+
+// This file is the memory system's side of the parallel-engine shard
+// contract (internal/sim/parallel.go, DESIGN.md §10). The cube splits at
+// its natural seam: the external controller, links, and crossbar stay on
+// the coordinator (shard 0) with the cores and caches, while the vault
+// controllers — the independent actors CAMPS' whole design is built
+// around — move to vault shards, each with its own event engine. The two
+// directions of traffic across the seam become mailbox messages:
+//
+//   - down (request): Access computes the request's vault-arrival time
+//     exactly as in serial (link, crossbar, injected stall — all
+//     coordinator-owned state), then records a downRec instead of
+//     scheduling the submit event locally. The barrier delivers it into
+//     the owning shard's engine with the original (when, sched) key, so
+//     it fires in the same position of the merged event order.
+//   - up (response): the read's Done callback — invoked by the vault's
+//     completion trampoline on the vault engine — records an upRec
+//     stamped with that engine's (Now, CurSched). The barrier replays
+//     completions onto the coordinator in merged key order under
+//     BeginReplay, so the response path (link response pipe, latency
+//     accounting, span retirement, the processor-side wakeup) executes
+//     byte-identically to the serial engine.
+//
+// Pools follow shard ownership. downRecs are allocated by the
+// coordinator and consumed on vault shards, so they recycle in two
+// phases: the firing shard parks its spent records on a shard-owned
+// spent list, and the next barrier folds the spent lists back into the
+// coordinator's free list while everyone is parked. upRecs are plain
+// values in shard-owned slices, reset after each replay.
+
+// downRec is one pooled request crossing to a vault shard.
+type downRec struct {
+	rt          *ShardRuntime
+	shard       int
+	v           *vault.Controller
+	req         vault.Request
+	when, sched sim.Time
+	tag         int32
+	fireFn      func() // bound once: deliver req to the vault, then park on the spent list
+}
+
+func (d *downRec) fire() {
+	v, req := d.v, d.req
+	d.req = vault.Request{}
+	d.v = nil
+	sp := &d.rt.spentDown[d.shard]
+	*sp = append(*sp, d)
+	v.Submit(req)
+}
+
+// upRec is one read completion crossing back to the coordinator.
+type upRec struct {
+	when, sched sim.Time
+	tag         int32
+	ready       sim.Time
+	a           *access
+}
+
+// ShardRuntime carries the cube's parallel state and implements
+// sim.Mailbox for sim.RunParallel.
+type ShardRuntime struct {
+	main    *sim.Engine
+	engs    []*sim.Engine // vault-shard engines, shard index order
+	shardOf []int         // vault id -> shard index
+
+	down      [][]*downRec // per shard: filled by the coordinator during its window
+	spentDown [][]*downRec // per shard: filled by that shard as deliveries fire
+	downFree  []*downRec   // coordinator-owned pool
+
+	up [][]upRec // per shard: filled by that shard during its window
+
+	merge []int // scratch cursor per shard for the replay k-way merge
+}
+
+// Engines returns the vault-shard engines in shard order.
+func (rt *ShardRuntime) Engines() []*sim.Engine { return rt.engs }
+
+// Shards returns the number of vault shards.
+func (rt *ShardRuntime) Shards() int { return len(rt.engs) }
+
+// ShardOf returns the owning shard index of each vault (index = vault id).
+func (rt *ShardRuntime) ShardOf() []int { return rt.shardOf }
+
+// PlanShards assigns vaults to shards in contiguous, near-equal slices
+// (e.g. 32 vaults over 7 shards: 5,5,5,5,4,4,4). Contiguity keeps each
+// shard's working set dense and the assignment trivially deterministic.
+func PlanShards(vaults, shards int) []int {
+	of := make([]int, vaults)
+	base, extra := vaults/shards, vaults%shards
+	v := 0
+	for s := 0; s < shards; s++ {
+		n := base
+		if s < extra {
+			n++
+		}
+		for i := 0; i < n; i++ {
+			of[v] = s
+			v++
+		}
+	}
+	return of
+}
+
+// ResponseLookahead returns the minimum latency from a vault completing
+// a read (the completion trampoline firing on the vault engine) to any
+// effect on the coordinator shard: the crossbar hop back plus the clean
+// serialization and propagation of a full response packet. Sleep wakeup,
+// pipe backpressure, and CRC retries only add to it. The parallel window
+// must satisfy 2*window <= this bound — see sim.RunParallel.
+func ResponseLookahead(cfg config.Config) sim.Time {
+	l := cfg.Links
+	ser := sim.Time(int64(l.HeaderBytes+cfg.L3.LineBytes) * 1_000_000_000_000 / l.BytesPerSecond())
+	return l.SwitchDelay + ser + l.PropDelay
+}
+
+// NewCubeSharded builds a cube whose vaults are distributed over
+// shards vault-shard engines per plan (shardOf[vault] = shard index),
+// while the links, crossbar, and controller state live on main. The
+// returned runtime is the sim.Mailbox to run the simulation with:
+//
+//	sim.RunParallel(ctx, main, rt.Engines(), window, rt)
+//
+// with window <= ResponseLookahead(cfg)/2.
+func NewCubeSharded(main *sim.Engine, cfg config.Config, scheme prefetch.Scheme,
+	engs []*sim.Engine, shardOf []int) (*Cube, *ShardRuntime) {
+	rt := &ShardRuntime{
+		main:      main,
+		engs:      engs,
+		shardOf:   shardOf,
+		down:      make([][]*downRec, len(engs)),
+		spentDown: make([][]*downRec, len(engs)),
+		up:        make([][]upRec, len(engs)),
+		merge:     make([]int, len(engs)),
+	}
+	c := &Cube{
+		eng:       main,
+		cfg:       cfg,
+		mapping:   NewMapping(cfg),
+		vaults:    make([]*vault.Controller, cfg.HMC.Vaults),
+		links:     make([]*Link, cfg.Links.Count),
+		lineBytes: cfg.L3.LineBytes,
+		headerB:   cfg.Links.HeaderBytes,
+		switchLat: cfg.Links.SwitchDelay,
+		ctrlLat:   cfg.Links.CtrlOverhead,
+		readHist:  stats5ns(),
+		shard:     rt,
+	}
+	for i := range c.vaults {
+		// Each controller is constructed on its owning shard's engine:
+		// its refresh daemon and all scheduling ride that engine.
+		c.vaults[i] = vault.New(engs[shardOf[i]], cfg, scheme, i)
+	}
+	for i := range c.links {
+		c.links[i] = NewLink(cfg.Links)
+	}
+	if cfg.Links.VaultPortGBps > 0 {
+		c.portBps = cfg.Links.VaultPortGBps * 1_000_000_000
+		c.portFree = make([]sim.Time, cfg.HMC.Vaults)
+	}
+	return c, rt
+}
+
+// SetShardObs points each vault (and its fault site, when faults are
+// wired) at per-shard observability instances: tracer i and ledger i
+// receive everything the vaults of shard i emit. Call after Instrument /
+// AttachAttribution / SetFaults; the per-shard instances fold back into
+// the run's suite when the simulation ends (obs.MergeShardTracers,
+// obs.MergeShardLedgers).
+func (c *Cube) SetShardObs(tracers []*obs.Tracer, ledgers []*obs.PrefetchLedger) {
+	rt := c.shard
+	if rt == nil {
+		return
+	}
+	for i, v := range c.vaults {
+		s := rt.shardOf[i]
+		if tracers != nil {
+			v.SetTracer(tracers[s])
+			if c.vsites != nil {
+				c.vsites[i].SetTracer(tracers[s])
+			}
+		}
+		if ledgers != nil && ledgers[s] != nil {
+			v.AttachAttribution(c.spans, ledgers[s])
+		}
+	}
+}
+
+// pushDown queues one request for delivery into vault's shard at the
+// next barrier. Runs on the coordinator, inside Access.
+func (rt *ShardRuntime) pushDown(vaultID int, v *vault.Controller, req vault.Request, when, sched sim.Time) {
+	var d *downRec
+	if n := len(rt.downFree); n > 0 {
+		d = rt.downFree[n-1]
+		rt.downFree[n-1] = nil
+		rt.downFree = rt.downFree[:n-1]
+	} else {
+		d = &downRec{rt: rt}
+		d.fireFn = d.fire
+	}
+	d.shard = rt.shardOf[vaultID]
+	d.v = v
+	d.req = req
+	d.when = when
+	d.sched = sched
+	d.tag = vault.TagSubmit(vaultID)
+	rt.down[d.shard] = append(rt.down[d.shard], d)
+}
+
+// pushUp queues one read completion for replay onto the coordinator.
+// Runs on a's owning vault shard, as the read's Done callback.
+func (rt *ShardRuntime) pushUp(shard int, a *access, ready sim.Time) {
+	e := rt.engs[shard]
+	rt.up[shard] = append(rt.up[shard], upRec{
+		when:  e.Now(),
+		sched: e.CurSched(),
+		tag:   e.CurTag(),
+		ready: ready,
+		a:     a,
+	})
+}
+
+func keyBefore(w, s sim.Time, t int32, lw, ls sim.Time, lt int32) bool {
+	if w != lw {
+		return w < lw
+	}
+	if s != ls {
+		return s < ls
+	}
+	return t < lt
+}
+
+// DeliverDown implements sim.Mailbox: recycle the spent-record lists
+// (every shard is parked at the barrier), then insert the queued
+// requests into their shard engines. Limited delivery drops messages at
+// or past the halt key — requests a halted serial engine would never
+// have submitted; their reads simply stay in flight, exactly as when a
+// serial run halts with the submit event still queued.
+func (rt *ShardRuntime) DeliverDown(limit bool, lw, ls sim.Time, lt int32) int {
+	for i := range rt.spentDown {
+		for j, d := range rt.spentDown[i] {
+			rt.downFree = append(rt.downFree, d)
+			rt.spentDown[i][j] = nil
+		}
+		rt.spentDown[i] = rt.spentDown[i][:0]
+	}
+	moved := 0
+	for i := range rt.down {
+		for _, d := range rt.down[i] {
+			if limit && !keyBefore(d.when, d.sched, d.tag, lw, ls, lt) {
+				continue
+			}
+			rt.engs[i].DeliverAt(d.when, d.sched, d.tag, d.fireFn)
+			moved++
+		}
+		rt.down[i] = rt.down[i][:0]
+	}
+	return moved
+}
+
+// ReplayUp implements sim.Mailbox: merge the per-shard completion FIFOs
+// by (when, sched, tag) — each FIFO is already key-sorted because its
+// engine fires events in key order, and the tag component makes the
+// merged order total (two shards never produce the same vault tag) —
+// and re-apply each completion on the coordinator under replay at its
+// original execution time. Limited replay drops completions at or past
+// the halt key, which the serial engine would never have fired.
+func (rt *ShardRuntime) ReplayUp(limit bool, lw, ls sim.Time, lt int32) int {
+	for i := range rt.merge {
+		rt.merge[i] = 0
+	}
+	moved := 0
+	for {
+		best := -1
+		var bw, bs sim.Time
+		var bt int32
+		for i := range rt.up {
+			if rt.merge[i] >= len(rt.up[i]) {
+				continue
+			}
+			r := rt.up[i][rt.merge[i]]
+			if best < 0 || keyBefore(r.when, r.sched, r.tag, bw, bs, bt) {
+				best, bw, bs, bt = i, r.when, r.sched, r.tag
+			}
+		}
+		if best < 0 {
+			break
+		}
+		r := rt.up[best][rt.merge[best]]
+		rt.merge[best]++
+		if limit && !keyBefore(r.when, r.sched, r.tag, lw, ls, lt) {
+			continue
+		}
+		rt.main.BeginReplay(r.when, r.tag)
+		r.a.vdoneFn(r.ready)
+		rt.main.EndReplay()
+		moved++
+	}
+	for i := range rt.up {
+		rt.up[i] = rt.up[i][:0]
+	}
+	return moved
+}

@@ -1,0 +1,201 @@
+package obs
+
+import "sort"
+
+// This file is the observability layer's side of the parallel-engine
+// shard contract (see internal/sim/parallel.go and DESIGN.md §10). The
+// obs package stays lock-free and single-writer: instead of sharing hot
+// structures across shards, each shard gets its own instance (tracer,
+// ledger, histogram) written only by that shard's goroutine, and the
+// instances fold back together — deterministically — on the coordinator
+// once every shard is parked.
+
+// Merge folds o's samples into h. Bucket counts, sample count, and max
+// combine exactly; the sums are integer-valued totals carried in
+// float64, so addition is exact until 2^53 and merged summaries equal
+// the single-instance summaries a serial run produces.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}
+
+// OwnHistogram registers a new private histogram instance under name and
+// returns it. Unlike Histogram — which hands every caller the same
+// instance — each call creates a fresh one, so replicated subsystems
+// that run on different shards can observe without sharing memory.
+// Snapshots merge every instance of a name (shared and private), so the
+// reported distribution is identical either way.
+func (r *Registry) OwnHistogram(name string) *Histogram {
+	h := NewHistogram()
+	if r.histAdd == nil {
+		r.histAdd = make(map[string][]*Histogram)
+	}
+	r.histAdd[name] = append(r.histAdd[name], h)
+	return h
+}
+
+// mergedHist returns the histogram to summarize for name: the shared
+// instance when it is the only one, else a merged copy.
+func (r *Registry) mergedHist(name string) *Histogram {
+	shared := r.hists[name]
+	extra := r.histAdd[name]
+	if len(extra) == 0 {
+		return shared
+	}
+	m := NewHistogram()
+	m.Merge(shared)
+	for _, h := range extra {
+		m.Merge(h)
+	}
+	return m
+}
+
+// Merge folds another ledger's classifications into l: totals add and
+// per-vault rows add index-wise. The parallel runner gives each vault
+// shard a private ledger and merges them into the run's ledger at the
+// end; vault slices are disjoint across shards, so the merged per-vault
+// rows are exactly the serial ledger's.
+func (l *PrefetchLedger) Merge(o *PrefetchLedger) {
+	if l == nil || o == nil {
+		return
+	}
+	for i := range l.totals {
+		l.totals[i] += o.totals[i]
+	}
+	for v := range o.perVault {
+		for v >= len(l.perVault) {
+			l.perVault = append(l.perVault, [outcomeCount]uint64{})
+		}
+		for i := range o.perVault[v] {
+			l.perVault[v][i] += o.perVault[v][i]
+		}
+	}
+}
+
+// Reserve grows the span pool to at least capacity free records and pins
+// it: after Reserve, Begin panics instead of growing the pool. Pinning
+// is what makes the span set shard-safe — vault shards hold references
+// into s.recs while charging causes, so the backing array must never
+// move. The parallel runner reserves well above the structural in-flight
+// bound (MSHR entries + coalesced secondaries + overflow queue); a
+// panic here means that bound was wrong, which must fail loudly rather
+// than silently race.
+func (s *SpanSet) Reserve(capacity int) {
+	if s == nil {
+		return
+	}
+	for len(s.recs) < capacity {
+		s.recs = append(s.recs, spanRec{})
+		s.free = append(s.free, int32(len(s.recs)-1))
+	}
+	s.pinned = true
+}
+
+// ShardLedgers creates one private ledger per shard, labeled like the
+// suite's own, for the parallel runner to hand to vault shards. Call
+// MergeShardLedgers once every shard is parked to fold them back.
+func (s *Suite) ShardLedgers(n int) []*PrefetchLedger {
+	if s == nil || s.Ledger == nil {
+		return make([]*PrefetchLedger, n)
+	}
+	out := make([]*PrefetchLedger, n)
+	for i := range out {
+		out[i] = NewPrefetchLedger(s.Ledger.Scheme())
+	}
+	return out
+}
+
+// MergeShardLedgers folds the shard ledgers into the suite's ledger, in
+// shard order.
+func (s *Suite) MergeShardLedgers(shards []*PrefetchLedger) {
+	if s == nil || s.Ledger == nil {
+		return
+	}
+	for _, l := range shards {
+		s.Ledger.Merge(l)
+	}
+}
+
+// ShardTracers creates one private tracer per shard with the same
+// capacity as the suite's tracer (nil tracers when tracing is off).
+// Each shard emits into its own ring; MergeShardTracers canonicalizes
+// them into the suite's.
+func (s *Suite) ShardTracers(n int) []*Tracer {
+	out := make([]*Tracer, n)
+	if s == nil || s.Tracer == nil {
+		return out
+	}
+	for i := range out {
+		out[i] = NewTracer(len(s.Tracer.buf))
+	}
+	return out
+}
+
+// MergeShardTracers folds the shard tracers into the suite's tracer.
+// The merged ring holds the newest events of the union, ordered by
+// (timestamp, then emitting shard, coordinator first) — a canonical
+// order that depends only on what each shard emitted, never on thread
+// interleaving, so same-seed parallel runs export identical traces.
+// Equal-timestamp events from different shards may interleave
+// differently than a serial run's trace (which orders them by engine
+// execution); the metrics and attribution layers are unaffected.
+// Dropped/total counts fold additively, matching the serial ring's
+// accounting for the same emission stream.
+func (s *Suite) MergeShardTracers(shards []*Tracer) {
+	if s == nil || s.Tracer == nil {
+		return
+	}
+	mt := s.Tracer
+	type tagged struct {
+		ev    Event
+		shard int
+		seq   int
+	}
+	var all []tagged
+	for i, ev := range mt.Events() {
+		all = append(all, tagged{ev, 0, i})
+	}
+	total, dropped := mt.total, mt.dropped
+	for si, tr := range shards {
+		if tr == nil {
+			continue
+		}
+		for i, ev := range tr.Events() {
+			all = append(all, tagged{ev, si + 1, i})
+		}
+		total += tr.total
+		dropped += tr.dropped
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].ev.At != all[j].ev.At {
+			return all[i].ev.At < all[j].ev.At
+		}
+		if all[i].shard != all[j].shard {
+			return all[i].shard < all[j].shard
+		}
+		return all[i].seq < all[j].seq
+	})
+	if excess := len(all) - len(mt.buf); excess > 0 {
+		dropped += uint64(excess)
+		all = all[excess:]
+	}
+	mt.n, mt.next = 0, 0
+	for _, t := range all {
+		mt.buf[mt.next] = t.ev
+		mt.next++
+		mt.n++
+	}
+	if mt.next == len(mt.buf) {
+		mt.next = 0
+	}
+	mt.total, mt.dropped = total, dropped
+}

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -15,7 +16,7 @@ func testGrid(t *testing.T) *harness.Grid {
 	t.Helper()
 	hm1, _ := workload.MixByID("HM1")
 	lm1, _ := workload.MixByID("LM1")
-	g, err := harness.Run(harness.Options{
+	g, err := harness.RunContext(context.Background(), harness.Options{
 		Mixes:        []workload.Mix{hm1, lm1},
 		WarmupRefs:   3_000,
 		MeasureInstr: 40_000,

@@ -1,0 +1,267 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// This file is the conservative parallel runner for sharded simulations:
+// one main engine (shard 0) plus N vault-shard engines execute
+// lookahead-sized windows concurrently, exchanging work through a
+// Mailbox drained at window barriers. The scheme is classic
+// Chandy-Misra conservative synchronization specialized to the CAMPS
+// topology: shards only interact through the crossbar + serial links,
+// whose fixed minimum latencies bound how far one shard's present can
+// affect another shard's future.
+//
+// Execution is a skewed pipeline. In step s, shard 0 runs the window
+// [sW, (s+1)W) while every vault shard runs [(s-1)W, sW): requests
+// posted by shard 0 during its window always land at or after the
+// window's start, so the one-window lag means vault shards have every
+// request in hand before they need it, with no request-side lookahead
+// requirement at all. Responses need the window to satisfy
+// minResponse >= 2W (see the runner's caller), so a completion recorded
+// in vault window s-1 is never due on shard 0 before (s+1)W — one full
+// window after the barrier that replays it.
+//
+// Determinism: every event carries the (when, sched, tag, seq) key (see
+// nodeLess), and cross-shard messages carry the (when, sched, tag) of
+// the event that produced them. The tag component is what makes the
+// order portable: same-instant scheduling collisions between independent
+// actors — two vaults completing reads at the same picosecond, a request
+// arriving while its vault acts — are resolved by actor stream, not by
+// an engine-local sequence counter. Mailboxes are FIFO per shard and
+// merged in key order at each barrier, and completions are re-applied
+// under replay mode (Now() = the completion's original execution time),
+// so the merged event order — and therefore the run's output — is the
+// serial engine's order. The residual ambiguity is a pair of events with
+// identical (when, sched, tag) whose scheduling interleaved across
+// engines (possible only through multi-hop causal coincidences); the
+// differential determinism suite polices that this never surfaces.
+
+// Mailbox moves messages between shard 0 and the vault shards at window
+// barriers. Implementations queue messages during window execution
+// (each queue written by exactly one shard's goroutine) and move them
+// here, on the coordinator, while every shard is parked at the barrier.
+//
+// When limit is true only messages strictly before the (lw, ls, lt)
+// event key may be delivered or replayed; the rest must be discarded —
+// they correspond to events a halted serial engine would never have
+// fired. Both methods report how many messages they moved, which the
+// halt winddown uses to detect quiescence.
+type Mailbox interface {
+	// DeliverDown inserts the requests shard 0 posted during its last
+	// window into the destination shard engines (via Engine.DeliverAt),
+	// in posting order.
+	DeliverDown(limit bool, lw, ls Time, lt int32) int
+	// ReplayUp re-applies the completions vault shards recorded during
+	// their last window to shard 0, merged across shards in event-key
+	// order (via Engine.BeginReplay/EndReplay).
+	ReplayUp(limit bool, lw, ls Time, lt int32) int
+}
+
+// DeliverAt schedules fn on the engine exactly as if it had been
+// scheduled at engine time sched by actor stream tag: the event sorts by
+// (when, sched, tag) like every other, so a request crossing a shard
+// boundary keeps the position in the event order it held on the engine
+// that produced it. It is the mailbox-delivery entry point of the
+// parallel runner; same-key messages delivered in FIFO order stay FIFO
+// (the fresh seq stamps preserve it).
+func (e *Engine) DeliverAt(when, sched Time, tag int32, fn func()) {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	if when < e.now {
+		panic(fmt.Sprintf("sim: delivering event at %v before now %v", when, e.now))
+	}
+	nd := e.alloc()
+	nd.when = when
+	nd.sched = sched
+	nd.tag = tag
+	nd.seq = e.seq
+	nd.daemon = false
+	nd.fn = fn
+	e.seq++
+	e.heapPush(nd)
+	e.nonDaemon++
+}
+
+// BeginReplay puts the engine in replay mode at virtual time at, in
+// actor stream tag: until EndReplay, Now() reports at and new events are
+// stamped (and past-checked) as if scheduled then by that stream. The
+// mailbox layer wraps each cross-shard completion in a replay so its
+// callback — branch decisions, latency observations, follow-on
+// scheduling — executes byte-identically to the serial engine that
+// would have run it in place.
+func (e *Engine) BeginReplay(at Time, tag int32) {
+	e.replay = true
+	e.vnow = at
+	e.vtag = tag
+}
+
+// EndReplay leaves replay mode.
+func (e *Engine) EndReplay() { e.replay = false }
+
+// deferBody queues fn to run at the next window barrier; ticker bodies
+// use it (via deferOn) so mid-window reads of cross-shard state move to
+// a point where every shard is parked.
+func (e *Engine) deferBody(fn func()) { e.deferredQ = append(e.deferredQ, fn) }
+
+// flushDeferred runs the queued barrier bodies in deferral order.
+func (e *Engine) flushDeferred() {
+	for i := 0; i < len(e.deferredQ); i++ {
+		e.deferredQ[i]() // bodies never re-defer: they run directly here
+	}
+	e.deferredQ = e.deferredQ[:0]
+}
+
+// runWindow fires every pending event strictly before until, then parks
+// the clock at the window boundary. Halt stops it mid-window with the
+// clock at the halting event, exactly like Run.
+func (e *Engine) runWindow(until Time) {
+	for !e.halted && len(e.heap) > 0 && e.heap[0].when < until {
+		e.Step()
+	}
+	if !e.halted && e.now < until {
+		e.now = until
+	}
+}
+
+// keyBefore reports whether event key (w, s, t) sorts strictly before
+// (lw, ls, lt): the portable prefix of nodeLess, shared by the winddown
+// and the mailbox limit checks.
+func keyBefore(w, s Time, t int32, lw, ls Time, lt int32) bool {
+	if w != lw {
+		return w < lw
+	}
+	if s != ls {
+		return s < ls
+	}
+	return t < lt
+}
+
+// runBeforeKey fires every pending event whose (when, sched, tag) key
+// sorts strictly before (lw, ls, lt), ignoring the halted flag: it is
+// the winddown primitive that lets shards finish exactly the events a
+// serial engine would have fired before the halt. Reports how many
+// events fired.
+func (e *Engine) runBeforeKey(lw, ls Time, lt int32) int {
+	fired := 0
+	wasHalted := e.halted
+	for len(e.heap) > 0 {
+		nd := e.heap[0]
+		if !keyBefore(nd.when, nd.sched, nd.tag, lw, ls, lt) {
+			break
+		}
+		e.halted = false
+		e.Step()
+		fired++
+	}
+	e.halted = wasHalted
+	return fired
+}
+
+// RunParallel executes the sharded simulation: main (shard 0, which owns
+// everything that is not a vault) plus the vault-shard engines, in
+// lookahead windows of the given width, exchanging cross-shard messages
+// through box at every barrier. It returns when main halts (the normal
+// termination: the winddown then fires, on every shard, exactly the
+// events that precede the halt in the serial event order) or when no
+// non-daemon events remain anywhere.
+//
+// The window must satisfy 2*window <= the minimum cross-shard response
+// latency; the caller (which knows the link timing) is responsible for
+// picking it. On return main's clock and fired-event count cover the
+// whole system, so callers that read Now()/Fired() off the main engine
+// see exactly what a serial run would have reported. Termination by
+// draining (no Halt) parks the clock at the last window boundary rather
+// than the last event — campaign runs always terminate by Halt and are
+// unaffected.
+//
+// ctx is polled at barriers as a backstop; model-level cancellation
+// should use a halt watcher on the main engine, which stays
+// deterministic relative to the simulated clock.
+func RunParallel(ctx context.Context, main *Engine, shards []*Engine, window Time, box Mailbox) {
+	if window <= 0 {
+		panic("sim: parallel window must be positive")
+	}
+	main.deferOn = true
+	defer func() { main.deferOn = false }()
+
+	work := make([]chan Time, len(shards))
+	done := make(chan struct{}, len(shards))
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		work[i] = make(chan Time)
+		wg.Add(1)
+		go func(e *Engine, w <-chan Time) {
+			defer wg.Done()
+			for until := range w {
+				e.runWindow(until)
+				done <- struct{}{}
+			}
+		}(sh, work[i])
+	}
+
+	vaultEnd, mainEnd := Time(0), window
+	for {
+		// Skewed pipeline step: vault shards execute the window the main
+		// shard finished last step, concurrently with the main shard's
+		// next one. The coordinator runs shard 0 itself.
+		for i := range work {
+			work[i] <- vaultEnd
+		}
+		main.runWindow(mainEnd)
+		for range shards {
+			<-done
+		}
+		if main.halted {
+			break
+		}
+		box.DeliverDown(false, 0, 0, 0)
+		box.ReplayUp(false, 0, 0, 0)
+		main.flushDeferred()
+		live := main.nonDaemon
+		for _, sh := range shards {
+			live += sh.nonDaemon
+		}
+		if live == 0 {
+			break
+		}
+		if ctx != nil && ctx.Err() != nil {
+			main.Halt()
+			break
+		}
+		vaultEnd, mainEnd = mainEnd, mainEnd+window
+	}
+	for i := range work {
+		close(work[i])
+	}
+	wg.Wait()
+
+	if main.halted {
+		// Winddown: the halt was discovered mid-window on shard 0, with
+		// vault shards one window behind — so no shard has executed past
+		// the halt. Deliver, run, and replay in rounds, each bounded to
+		// events strictly before the halt key, until nothing moves.
+		hw, hs, ht := main.haltWhen, main.haltSched, main.haltTag
+		for {
+			moved := box.DeliverDown(true, hw, hs, ht)
+			fired := 0
+			for _, sh := range shards {
+				fired += sh.runBeforeKey(hw, hs, ht)
+			}
+			moved += box.ReplayUp(true, hw, hs, ht)
+			fired += main.runBeforeKey(hw, hs, ht)
+			if moved == 0 && fired == 0 {
+				break
+			}
+		}
+		main.now = hw
+	}
+	main.flushDeferred()
+	for _, sh := range shards {
+		main.fired += sh.fired
+	}
+}

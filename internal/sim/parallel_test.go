@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Clock conversions must survive durations and cycle counts whose
+// intermediate product overflows int64. Regression for the d*den wrap: a
+// 2999 MHz clock has den=2999 after reduction, so the old single-word
+// ToCycles corrupted every conversion past ~51 simulated minutes.
+func TestClockConversionExtremeDurations(t *testing.T) {
+	c := NewClock(2999)
+	// One simulated hour: 3.6e15 ps. d*den ~ 1.08e19 overflows int64.
+	hour := Time(3_600_000_000_000_000)
+	wantCycles := int64(10_796_400_000_000) // 3.6e15 ps * 2999 MHz / 1e6
+	if got := c.ToCycles(hour); got != wantCycles {
+		t.Fatalf("ToCycles(1h at 2999MHz) = %d, want %d", got, wantCycles)
+	}
+	if got := c.ToCyclesCeil(hour); got != wantCycles {
+		t.Fatalf("ToCyclesCeil(1h at 2999MHz) = %d, want %d (exact edge)", got, wantCycles)
+	}
+	if got := c.ToCyclesCeil(hour + 1); got != wantCycles+1 {
+		t.Fatalf("ToCyclesCeil(1h+1ps) = %d, want %d", got, wantCycles+1)
+	}
+	if got := c.Cycles(wantCycles); got != hour {
+		t.Fatalf("Cycles(%d) = %d, want %d", wantCycles, got, hour)
+	}
+	// Round-trip consistency deep into the representable range: floor
+	// then ceil must bracket the instant for a non-integral period.
+	cpu := NewClock(3000) // 1000/3 ps period
+	for _, d := range []Time{1 << 40, 1 << 50, 1 << 60, 1<<62 + 12345} {
+		n := cpu.ToCycles(d)
+		if at := cpu.Cycles(n); at > d {
+			t.Fatalf("Cycles(ToCycles(%d)) = %d, past the instant", d, at)
+		}
+		if edge := cpu.NextEdge(d); edge < d {
+			t.Fatalf("NextEdge(%d) = %d, before the instant", d, edge)
+		}
+	}
+}
+
+func TestClockConversionOverflowPanics(t *testing.T) {
+	defer func() {
+		msg, _ := recover().(string)
+		if !strings.Contains(msg, "overflows") {
+			t.Fatalf("unrepresentable conversion did not panic with overflow (got %q)", msg)
+		}
+	}()
+	// Quotient exceeds int64: ~9.2e18 cycles * (1e6/2999) ps/cycle.
+	NewClock(2999).Cycles(1<<63 - 1)
+}
+
+func TestRunForNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunFor(-1) did not panic")
+		}
+	}()
+	NewEngine().RunFor(-1)
+}
+
+func TestRunUntilPastDeadlineIsNoop(t *testing.T) {
+	eng := NewEngine()
+	fired := false
+	eng.At(5, func() { fired = true })
+	eng.RunFor(10)
+	if !fired || eng.Now() != 10 {
+		t.Fatalf("setup: fired=%v now=%v", fired, eng.Now())
+	}
+	eng.At(15, func() { t.Fatal("event fired despite past deadline") })
+	eng.RunUntil(3) // explicitly documented no-op
+	if eng.Now() != 10 {
+		t.Fatalf("RunUntil(past) moved the clock to %v", eng.Now())
+	}
+}
+
+// Same-instant events must fire in scheduling-time order before
+// falling back to sequence order: on one engine that is identical to
+// pure FIFO (the clock never runs backwards while scheduling), and it is
+// the property that lets cross-shard messages keep their serial position.
+func TestSameInstantOrderBySchedThenSeq(t *testing.T) {
+	eng := NewEngine()
+	var order []string
+	eng.At(20, func() { order = append(order, "sched0-a") }) // scheduled at t=0
+	eng.At(10, func() {
+		eng.At(20, func() { order = append(order, "sched10") })
+	})
+	eng.At(20, func() { order = append(order, "sched0-b") })
+	eng.Run()
+	want := "sched0-a,sched0-b,sched10"
+	if got := strings.Join(order, ","); got != want {
+		t.Fatalf("same-instant order = %s, want %s", got, want)
+	}
+}
+
+func TestDeliverAtKeepsForeignSchedPosition(t *testing.T) {
+	eng := NewEngine()
+	var order []string
+	eng.At(10, func() {
+		eng.At(100, func() { order = append(order, "local-sched10") })
+	})
+	// A message produced elsewhere at engine time 5 must sort ahead of a
+	// local event scheduled at time 10, even though it is inserted last.
+	eng.At(50, func() { order = append(order, "local-sched0") }) // placeholder to advance clock
+	eng.DeliverAt(100, 5, 0, func() { order = append(order, "foreign-sched5") })
+	eng.Run()
+	want := "local-sched0,foreign-sched5,local-sched10"
+	if got := strings.Join(order, ","); got != want {
+		t.Fatalf("delivery order = %s, want %s", got, want)
+	}
+}
+
+func TestReplayModeVirtualClock(t *testing.T) {
+	eng := NewEngine()
+	eng.At(40, func() {})
+	eng.Run()
+	if eng.Now() != 40 {
+		t.Fatalf("now = %v", eng.Now())
+	}
+	eng.BeginReplay(25, 0)
+	if eng.Now() != 25 {
+		t.Fatalf("replay Now() = %v, want virtual 25", eng.Now())
+	}
+	var at Time
+	eng.AtWhen(30, func(w Time) { at = w }) // legal: 30 >= virtual now, though < real now
+	eng.EndReplay()
+	if eng.Now() != 40 {
+		t.Fatalf("Now() after replay = %v, want 40", eng.Now())
+	}
+	eng.runBeforeKey(41, 0, 0)
+	if at != 30 {
+		t.Fatalf("replay-scheduled event fired at %v, want 30", at)
+	}
+}
+
+// toyBox is a minimal Mailbox for a two-shard model that mirrors the
+// cube/vault seam: the main shard posts jobs that arrive at the "vault"
+// shard reqLat later, the vault records completions, and each completion
+// is replayed onto the main shard, which schedules the response arrival
+// respLat after the vault executed. respLat is the cross-shard response
+// latency, so any window <= respLat/2 is legal.
+type toyMsg struct {
+	when, sched Time
+	do          func()
+}
+
+type toyBox struct {
+	main, vault *Engine
+	down, up    []toyMsg
+}
+
+func (b *toyBox) DeliverDown(limit bool, lw, ls Time, lt int32) int {
+	moved := 0
+	for _, m := range b.down {
+		if limit && !keyBefore(m.when, m.sched, 0, lw, ls, lt) {
+			continue
+		}
+		b.vault.DeliverAt(m.when, m.sched, 0, m.do)
+		moved++
+	}
+	b.down = b.down[:0]
+	return moved
+}
+
+func (b *toyBox) ReplayUp(limit bool, lw, ls Time, lt int32) int {
+	moved := 0
+	for _, m := range b.up {
+		if limit && !keyBefore(m.when, m.sched, 0, lw, ls, lt) {
+			continue
+		}
+		b.main.BeginReplay(m.when, 0)
+		m.do()
+		b.main.EndReplay()
+		moved++
+	}
+	b.up = b.up[:0]
+	return moved
+}
+
+// runToyModel executes jobs posts through either a serial engine or a
+// sharded pair, returning the main-side and vault-side logs plus the
+// total fired-event count. Behavior on both paths is written against the
+// same Engine API, so any divergence is a runner bug.
+func runToyModel(jobs int, haltAt Time, parallel bool) (mainLog, vaultLog []string, fired uint64, now Time) {
+	const reqLat, respLat, window = 700, 800, 400
+	main := NewEngine()
+	vaultEng := main
+	box := &toyBox{}
+	if parallel {
+		vaultEng = NewEngine()
+		box.main, box.vault = main, vaultEng
+	}
+	ve := func() *Engine { return vaultEng }
+	for i := 0; i < jobs; i++ {
+		i := i
+		post := Time(i) * 90
+		main.At(post, func() {
+			mainLog = append(mainLog, fmt.Sprintf("post%d@%d", i, main.Now()))
+			arrive := main.Now() + reqLat
+			vaultWork := func() {
+				e := ve()
+				vaultLog = append(vaultLog, fmt.Sprintf("vault%d@%d", i, e.Now()))
+				finish := func() {
+					back := main.Now() + respLat // virtual now under replay
+					main.At(back, func() {
+						mainLog = append(mainLog, fmt.Sprintf("done%d@%d", i, main.Now()))
+					})
+				}
+				if parallel {
+					box.up = append(box.up, toyMsg{when: e.Now(), sched: e.CurSched(), do: finish})
+				} else {
+					finish()
+				}
+			}
+			if parallel {
+				box.down = append(box.down, toyMsg{when: arrive, sched: main.Now(), do: vaultWork})
+			} else {
+				main.At(arrive, vaultWork)
+			}
+		})
+	}
+	if haltAt > 0 {
+		main.At(haltAt, func() { main.Halt() })
+	}
+	if parallel {
+		RunParallel(nil, main, []*Engine{vaultEng}, window, box)
+	} else {
+		main.Run()
+	}
+	return mainLog, vaultLog, main.Fired(), main.Now()
+}
+
+func TestRunParallelMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		jobs   int
+		haltAt Time
+	}{
+		{"drain", 40, 0},
+		{"halt-midstream", 40, 2111},
+		{"halt-before-first-response", 10, 900},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sm, sv, sf, sn := runToyModel(tc.jobs, tc.haltAt, false)
+			pm, pv, pf, pn := runToyModel(tc.jobs, tc.haltAt, true)
+			if got, want := strings.Join(pm, "\n"), strings.Join(sm, "\n"); got != want {
+				t.Errorf("main-shard log diverged:\nparallel:\n%s\nserial:\n%s", got, want)
+			}
+			if got, want := strings.Join(pv, "\n"), strings.Join(sv, "\n"); got != want {
+				t.Errorf("vault-shard log diverged:\nparallel:\n%s\nserial:\n%s", got, want)
+			}
+			if pf != sf {
+				t.Errorf("fired = %d, serial %d", pf, sf)
+			}
+			if tc.haltAt > 0 && pn != sn {
+				t.Errorf("halted now = %v, serial %v", pn, sn)
+			}
+		})
+	}
+}

@@ -15,6 +15,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 )
 
 // Time is a simulation timestamp in picoseconds.
@@ -91,16 +92,71 @@ func (c Clock) PeriodRational() (num, den Time) { return c.num, c.den }
 // edge, exact whenever n*num is divisible by den and rounded down (sub-ps)
 // otherwise. Cumulative conversions do not drift: Cycles(n) is always
 // within one picosecond of the true rational instant.
-func (c Clock) Cycles(n int64) Time { return Time(n) * c.num / c.den }
+//
+// The intermediate product n*num is formed in 128 bits: with a reduced
+// rational period the factors alone can overflow int64 well inside the
+// representable time range (a 2999 MHz clock has num=1000000, den=2999,
+// so the old int64 product wrapped around ~51 simulated minutes and
+// silently corrupted every conversion after that).
+func (c Clock) Cycles(n int64) Time { return Time(mulDivBias(n, int64(c.num), 0, int64(c.den))) }
 
 // ToCycles converts a duration to whole elapsed cycles (floor).
-func (c Clock) ToCycles(d Time) int64 { return int64(d * c.den / c.num) }
+// The d*den intermediate is 128-bit for the same reason as Cycles.
+func (c Clock) ToCycles(d Time) int64 { return mulDivBias(int64(d), int64(c.den), 0, int64(c.num)) }
 
 // ToCyclesCeil converts a duration to cycles, rounding up: the first cycle
 // boundary at or after d. It is the resume-on-next-edge conversion for
 // components whose native clock is the cycle domain.
 func (c Clock) ToCyclesCeil(d Time) int64 {
-	return int64((d*c.den + c.num - 1) / c.num)
+	return mulDivBias(int64(d), int64(c.den), uint64(c.num-1), int64(c.num))
+}
+
+// mulDivBias computes trunc((a*b + bias) / c) with a full 128-bit
+// intermediate, for c > 0 and 0 <= bias < c. Truncation is toward zero,
+// matching Go's int64 division, so results agree exactly with the old
+// single-word arithmetic everywhere that arithmetic did not overflow. A
+// quotient that cannot be represented in int64 panics: the result would
+// be meaningless, and wrapping silently is precisely the bug this
+// replaces.
+func mulDivBias(a, b int64, bias uint64, c int64) int64 {
+	neg := (a < 0) != (b < 0)
+	ua, ub := uint64(a), uint64(b)
+	if a < 0 {
+		ua = -ua
+	}
+	if b < 0 {
+		ub = -ub
+	}
+	hi, lo := bits.Mul64(ua, ub)
+	if neg {
+		// Value is -(hi:lo) + bias. A product smaller than the bias flips
+		// the sign back to a (small) positive value.
+		if hi == 0 && lo < bias {
+			return int64((bias - lo) / uint64(c))
+		}
+		var borrow uint64
+		lo, borrow = bits.Sub64(lo, bias, 0)
+		hi -= borrow
+	} else {
+		var carry uint64
+		lo, carry = bits.Add64(lo, bias, 0)
+		hi += carry
+	}
+	uc := uint64(c)
+	if hi >= uc {
+		panic(fmt.Sprintf("sim: clock conversion overflows int64 (%d * %d / %d)", a, b, c))
+	}
+	q, _ := bits.Div64(hi, lo, uc)
+	if neg {
+		if q > 1<<63 {
+			panic(fmt.Sprintf("sim: clock conversion overflows int64 (%d * %d / %d)", a, b, c))
+		}
+		return -int64(q)
+	}
+	if q > 1<<63-1 {
+		panic(fmt.Sprintf("sim: clock conversion overflows int64 (%d * %d / %d)", a, b, c))
+	}
+	return int64(q)
 }
 
 // NextEdge returns the earliest time >= t that falls on a clock edge
@@ -128,6 +184,8 @@ type Event struct {
 // address-taking callbacks (see Engine.AtArg).
 type eventNode struct {
 	when   Time
+	sched  Time  // engine time when the event was scheduled
+	tag    int32 // actor stream of the scheduler (see nodeLess); inherited
 	seq    uint64
 	gen    uint64 // bumped on every recycle; pairs with Event.gen
 	arg    uint64 // fnArg's argument
@@ -162,11 +220,47 @@ const nodeChunk = 128
 type Engine struct {
 	now       Time
 	seq       uint64
-	heap      []*eventNode // 4-ary min-heap on (when, seq)
+	heap      []*eventNode // 4-ary min-heap on (when, sched, seq)
 	free      []*eventNode
 	fired     uint64
 	halted    bool
 	nonDaemon int
+
+	// curSched/curTag are the sched and tag stamps of the event currently
+	// firing: the engine time at which that event was scheduled and the
+	// actor stream it belongs to. Together with now they name the event's
+	// position in the deterministic total order, which is what
+	// cross-shard mailboxes key replay on (see parallel.go). curTag also
+	// propagates: events scheduled while an event fires inherit its tag,
+	// so a whole causal stream carries its root's tag without the model
+	// re-stating it at every hop.
+	curSched Time
+	curTag   int32
+
+	// haltWhen/haltSched/haltTag pin the exact position in the event
+	// order at which Halt was first called; the parallel runner's
+	// winddown fires exactly the events that precede it. haltPinned
+	// guards the pin so winddown (which temporarily clears halted to
+	// step) cannot move it.
+	haltWhen   Time
+	haltSched  Time
+	haltTag    int32
+	haltPinned bool
+
+	// Replay mode (parallel runner only): while a cross-shard completion
+	// recorded at virtual time vnow is being re-applied, Now() reports
+	// vnow and new events are stamped as if scheduled then, so callbacks
+	// behave byte-identically to the serial engine that would have run
+	// them in place.
+	replay bool
+	vnow   Time
+	vtag   int32
+
+	// Deferral (parallel runner only): while defer mode is on, ticker
+	// bodies that read cross-shard state run at the next window barrier
+	// instead of mid-window (the events themselves still fire in place).
+	deferOn   bool
+	deferredQ []func()
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -174,8 +268,58 @@ func NewEngine() *Engine {
 	return &Engine{}
 }
 
-// Now returns the current simulation time.
-func (e *Engine) Now() Time { return e.now }
+// Now returns the current simulation time. During a cross-shard replay
+// (parallel runner) it reports the virtual time the replayed completion
+// originally executed at, so replayed callbacks observe the same clock
+// they would have seen on the serial engine.
+func (e *Engine) Now() Time {
+	if e.replay {
+		return e.vnow
+	}
+	return e.now
+}
+
+// CurSched returns the sched stamp of the event currently firing (the
+// engine time at which it was scheduled). Paired with Now() it names the
+// firing event's position in the deterministic event order.
+func (e *Engine) CurSched() Time {
+	if e.replay {
+		return e.vnow
+	}
+	return e.curSched
+}
+
+// CurTag returns the actor tag of the event currently firing. Tags refine
+// the event order below (when, sched): two events with the same timestamp
+// and scheduling time but different tags order by tag, which gives
+// cross-shard messages a total order that does not depend on any single
+// engine's sequence counter (see nodeLess and parallel.go).
+func (e *Engine) CurTag() int32 {
+	if e.replay {
+		return e.vtag
+	}
+	return e.curTag
+}
+
+// WithTag runs fn with the engine's scheduling tag set to tag: events
+// scheduled inside fn (and, transitively, their whole causal streams)
+// carry it. Models use it to root an actor's stream — a vault tags its
+// construction-time daemon, the cube tags each request as it enters a
+// vault's stream — so that same-instant events of different actors order
+// by actor rather than by scheduling history.
+func (e *Engine) WithTag(tag int32, fn func()) {
+	if e.replay {
+		old := e.vtag
+		e.vtag = tag
+		fn()
+		e.vtag = old
+		return
+	}
+	old := e.curTag
+	e.curTag = tag
+	fn()
+	e.curTag = old
+}
 
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
@@ -216,6 +360,16 @@ func (e *Engine) AtArg(t Time, fn func(uint64), arg uint64) Event {
 	return e.schedule(t, nil, nil, fn, arg, false)
 }
 
+// AtTag schedules fn to run at absolute time t, stamped with the given
+// actor tag instead of inheriting the current event's. It is WithTag for
+// a single hot-path scheduling call: no closure, no save/restore.
+func (e *Engine) AtTag(t Time, tag int32, fn func()) Event {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	return e.scheduleTagged(t, tag, fn, nil, nil, 0, false)
+}
+
 // AtDaemon schedules a daemon event: it fires like any other event while
 // the simulation is alive, but does not by itself keep Run going. Use it
 // for self-rearming background work (DRAM refresh windows, periodic
@@ -228,11 +382,28 @@ func (e *Engine) AtDaemon(t Time, fn func()) Event {
 }
 
 func (e *Engine) schedule(t Time, fn func(), fnAt func(Time), fnArg func(uint64), arg uint64, daemon bool) Event {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	tag := e.curTag
+	if e.replay {
+		tag = e.vtag
+	}
+	return e.scheduleTagged(t, tag, fn, fnAt, fnArg, arg, daemon)
+}
+
+func (e *Engine) scheduleTagged(t Time, tag int32, fn func(), fnAt func(Time), fnArg func(uint64), arg uint64, daemon bool) Event {
+	sched := e.now
+	if e.replay {
+		// A replayed completion schedules as of its virtual time: the
+		// stamp (and the in-the-past check) must match what the serial
+		// engine would have done at that instant.
+		sched = e.vnow
+	}
+	if t < sched {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, sched))
 	}
 	nd := e.alloc()
 	nd.when = t
+	nd.sched = sched
+	nd.tag = tag
 	nd.seq = e.seq
 	nd.daemon = daemon
 	nd.fn = fn
@@ -298,7 +469,17 @@ func (e *Engine) Cancel(ev Event) bool {
 }
 
 // Halt stops Run/RunUntil after the currently executing event returns.
-func (e *Engine) Halt() { e.halted = true }
+// The first call pins the engine's exact position in the event order
+// ((now, curSched, curTag)); the parallel runner's winddown uses it to
+// fire, on every shard, exactly the events a serial engine would have
+// fired before halting.
+func (e *Engine) Halt() {
+	if !e.haltPinned {
+		e.haltPinned = true
+		e.haltWhen, e.haltSched, e.haltTag = e.now, e.curSched, e.curTag
+	}
+	e.halted = true
+}
 
 // Halted reports whether Halt has been called.
 func (e *Engine) Halted() bool { return e.halted }
@@ -314,6 +495,8 @@ func (e *Engine) Step() bool {
 		e.nonDaemon--
 	}
 	e.now = nd.when
+	e.curSched = nd.sched
+	e.curTag = nd.tag
 	when := nd.when
 	fn, fnAt, fnArg, arg := nd.fn, nd.fnAt, nd.fnArg, nd.arg
 	// Recycle before invoking: the callback may schedule new events, and
@@ -344,7 +527,8 @@ func (e *Engine) Run() {
 // RunUntil executes events with timestamps <= deadline. On return the
 // engine's time is min(deadline, time of last fired event); events beyond
 // the deadline remain queued. If Halt is called mid-run, time stays at the
-// halting event.
+// halting event. A deadline already in the past is an explicit no-op:
+// nothing fires and Now() is unchanged.
 func (e *Engine) RunUntil(deadline Time) {
 	for !e.halted && len(e.heap) > 0 && e.heap[0].when <= deadline {
 		e.Step()
@@ -355,17 +539,42 @@ func (e *Engine) RunUntil(deadline Time) {
 }
 
 // RunFor advances the simulation by d picoseconds. RunFor(0) fires events
-// scheduled for the current instant and leaves Now() unchanged.
-func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+// scheduled for the current instant and leaves Now() unchanged. A
+// negative duration panics, matching After: running time backwards always
+// indicates a model bug (it used to fall through RunUntil's loops as a
+// silent no-op).
+func (e *Engine) RunFor(d Time) {
+	if d < 0 {
+		panic("sim: negative duration")
+	}
+	e.RunUntil(e.now + d)
+}
 
-// The pending queue is a 4-ary min-heap ordered by (when, seq), stored
-// flat with parent/child arithmetic. Compared with container/heap this is
-// monomorphic (no interface dispatch, no any-boxing) and shallower (log4
-// vs log2 levels), which is worth ~2x on the schedule/step hot path.
+// The pending queue is a 4-ary min-heap ordered by (when, sched, tag,
+// seq), stored flat with parent/child arithmetic. Compared with
+// container/heap this is monomorphic (no interface dispatch, no
+// any-boxing) and shallower (log4 vs log2 levels), which is worth ~2x on
+// the schedule/step hot path.
+//
+// The first three components are portable across engines; only seq is
+// engine-local. sched survives the move between engines, so the parallel
+// runner can interleave same-instant events from different shards the way
+// one serial engine would have; tag disambiguates the common remaining
+// collision — two independent actors (vaults) scheduling at the same
+// engine time for the same target time — by actor stream rather than by
+// a sequence counter that no longer means anything across engines. seq
+// breaks the final tie, which by construction only arises between events
+// of one actor stream on one engine, where FIFO order is reproducible.
 
 func nodeLess(a, b *eventNode) bool {
 	if a.when != b.when {
 		return a.when < b.when
+	}
+	if a.sched != b.sched {
+		return a.sched < b.sched
+	}
+	if a.tag != b.tag {
+		return a.tag < b.tag
 	}
 	return a.seq < b.seq
 }

@@ -138,6 +138,20 @@ type Controller struct {
 // window is one [start, end) interval on a bank's timeline.
 type window struct{ start, end sim.Time }
 
+// Event-order tags (sim.Engine.WithTag). Every event stream rooted in a
+// vault carries one of two tags derived from the vault id: requests
+// entering the vault (and everything they cause — bank operations,
+// completion trampolines, the response path) carry TagSubmit, while the
+// vault's self-driven stream (the refresh daemon and what it causes)
+// carries TagInternal. The tags make same-instant scheduling collisions
+// between different vaults — routine, since vaults are deliberately
+// symmetric — order by vault rather than by an engine-local sequence
+// counter, which is what lets a sharded run reproduce the serial event
+// order exactly (see internal/sim/parallel.go). Tag 0 is everything
+// outside the vaults.
+func TagSubmit(id int) int32   { return int32(2*id + 1) }
+func TagInternal(id int) int32 { return int32(2*id + 2) }
+
 // New returns a vault controller for vault id using the given prefetch
 // scheme. All controllers of a cube share one simulation engine.
 func New(eng *sim.Engine, cfg config.Config, scheme prefetch.Scheme, id int) *Controller {
@@ -186,7 +200,9 @@ func New(eng *sim.Engine, cfg config.Config, scheme prefetch.Scheme, id int) *Co
 	// schedule() re-arms it as deadlines advance. Bank 0 holds the minimum
 	// of the staggered initial deadlines.
 	c.refreshWakeAt = c.nextRefresh[0]
-	c.eng.AtDaemon(c.refreshWakeAt, c.scheduleFn)
+	eng.WithTag(TagInternal(id), func() {
+		c.eng.AtDaemon(c.refreshWakeAt, c.scheduleFn)
+	})
 	c.pf = prefetch.New(scheme, cfg, prefetch.Context{
 		Banks:       nbanks,
 		LinesPerRow: c.lines,
@@ -241,9 +257,18 @@ func (c *Controller) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	reg.GaugeFunc("vault.read_queue", func() float64 { return float64(len(c.readQ)) })
 	reg.GaugeFunc("vault.write_queue", func() float64 { return float64(len(c.writeQ)) })
 	reg.GaugeFunc("vault.fetch_queue", func() float64 { return float64(len(c.fetchQ)) })
-	c.obsLat = reg.Histogram("vault.service_latency_ps")
+	// Own instance rather than the shared per-name histogram: under the
+	// parallel engine each vault observes from its own shard, so the
+	// instances must not share memory. Snapshots merge all instances of
+	// the name, so the reported distribution is unchanged.
+	c.obsLat = reg.OwnHistogram("vault.service_latency_ps")
 	c.buffer.Instrument(reg)
 }
+
+// SetTracer redirects the controller's structured-event emissions.
+// The parallel runner points each vault at its shard's private ring;
+// the rings merge canonically when the run ends (obs.MergeShardTracers).
+func (c *Controller) SetTracer(tr *obs.Tracer) { c.tr = tr }
 
 // emit publishes one trace event stamped with this vault's id.
 func (c *Controller) emit(t obs.EventType, at sim.Time, bank int, row, arg int64) {
@@ -254,7 +279,7 @@ func (c *Controller) emit(t obs.EventType, at sim.Time, bank int, row, arg int64
 // Call before the simulation starts.
 func (c *Controller) SetFaults(site *fault.VaultSite) { c.faults = site }
 
-// AttachAttribution connects the vault to the attribution layer: demand
+/// AttachAttribution connects the vault to the attribution layer: demand
 // spans accrue cause segments here, and every prefetch's fate is
 // classified into the ledger (the buffer records eviction outcomes; the
 // controller records queue-overflow and poison casualties directly).

@@ -1,0 +1,50 @@
+package vault_test
+
+import (
+	"context"
+	"testing"
+
+	"camps"
+)
+
+// TestParallelSoak exercises the vault controllers under the sharded
+// parallel engine at the highest worker count, with every fault class
+// active, for long enough that window barriers, mailbox recycling, and
+// the halt winddown all cycle thousands of times. It lives in the vault
+// package's (external) test suite because the vault controller is the
+// unit of sharding: `make race` runs this file uncached under -race, so
+// any unsynchronized access between a vault shard and the coordinator —
+// in the controller, its observability hooks, or its fault site — is
+// caught here rather than in production runs. Correctness of the results
+// is asserted by the differential suite at the repo root; this test only
+// demands that the run completes and did real work.
+func TestParallelSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: skipped in -short mode")
+	}
+	spec, err := camps.ParseFaultSpec(
+		"linkcrc=1e-3,stall=1e-4,stallfor=50ns,poison=2e-3,bankfail=100us,bankfor=2us,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := camps.RunConfig{
+		Scheme:       camps.CAMPSMOD,
+		WarmupRefs:   5_000,
+		MeasureInstr: 60_000,
+		Seed:         7,
+		Workers:      8,
+		Faults:       spec,
+	}
+	rc.Mix, err = camps.MixByID("HM1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := camps.RunContext(context.Background(), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EventsFired == 0 || res.Instructions == 0 {
+		t.Fatalf("soak run did no work: %d events, %d instructions",
+			res.EventsFired, res.Instructions)
+	}
+}

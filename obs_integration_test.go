@@ -2,6 +2,7 @@ package camps_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -21,7 +22,7 @@ func TestRunWithObservability(t *testing.T) {
 	suite := obs.NewSuite(0) // default window; must be wide enough to retain the last epoch marker
 	rc.Obs = suite
 	rc.EpochInterval = 2 * sim.Microsecond
-	res, err := camps.Run(rc)
+	res, err := camps.RunContext(context.Background(), rc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,13 +124,13 @@ func TestRunWithObservability(t *testing.T) {
 // the run must behave identically to a plain run (guard against
 // instrumentation accidentally becoming load-bearing).
 func TestRunWithoutObservability(t *testing.T) {
-	plain, err := camps.Run(quick("LM1", camps.BASE))
+	plain, err := camps.RunContext(context.Background(), quick("LM1", camps.BASE))
 	if err != nil {
 		t.Fatal(err)
 	}
 	rc := quick("LM1", camps.BASE)
 	rc.Obs = obs.NewSuite(0)
-	observed, err := camps.Run(rc)
+	observed, err := camps.RunContext(context.Background(), rc)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -109,7 +109,7 @@ func TestCampaignInterruptAndResume(t *testing.T) {
 		}
 	}
 	mix, _ := workload.MixByID(probe.Mix)
-	fresh, err := camps.Run(camps.RunConfig{
+	fresh, err := camps.RunContext(context.Background(), camps.RunConfig{
 		Scheme: probe.Scheme, Mix: mix, Seed: probe.Seed,
 		WarmupRefs: small.WarmupRefs, MeasureInstr: small.MeasureInstr,
 	})
@@ -147,7 +147,7 @@ func TestHarnessCheckpointResume(t *testing.T) {
 
 	opts = base
 	opts.Resume = true
-	g, err := harness.Run(opts)
+	g, err := harness.RunContext(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,105 @@
+package camps_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"camps"
+	"camps/internal/obs"
+)
+
+// TestParallelMatchesSerial is the determinism contract for the sharded
+// engine (DESIGN.md §10): the exported Results of a parallel run — every
+// metric, the attribution tables, the fault counters, and EventsFired —
+// must be byte-identical to the serial engine's, for every worker count,
+// across workload classes and fault environments. Any scheduling leak in
+// the window/barrier protocol shows up here as a diff.
+func TestParallelMatchesSerial(t *testing.T) {
+	faults := map[string]string{
+		"clean":    "",
+		"linkcrc":  "linkcrc=2e-3,seed=3",
+		"blackout": "stall=1e-3,stallfor=50ns,bankfail=50us,bankfor=1us,seed=3",
+	}
+	for _, mixID := range []string{"HM1", "LM2", "MX1"} {
+		for fname, ftext := range faults {
+			t.Run(mixID+"/"+fname, func(t *testing.T) {
+				rc := camps.RunConfig{
+					Scheme:       camps.CAMPSMOD,
+					WarmupRefs:   2_000,
+					MeasureInstr: 20_000,
+					Seed:         42,
+				}
+				mix, err := camps.MixByID(mixID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rc.Mix = mix
+				if ftext != "" {
+					spec, err := camps.ParseFaultSpec(ftext)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rc.Faults = spec
+				}
+
+				// Each run gets its own obs suite with attribution on, so
+				// the export also covers the per-shard ledger/span merge
+				// paths (a run reusing a suite would accumulate across
+				// runs and poison the comparison).
+				run := func(workers int) (camps.Results, []byte) {
+					prc := rc
+					prc.Workers = workers
+					suite := obs.NewSuite(1024)
+					suite.EnableAttribution(prc.Scheme.String())
+					prc.Obs = suite
+					res, err := camps.RunContext(context.Background(), prc)
+					if err != nil {
+						t.Fatalf("workers=%d: %v", workers, err)
+					}
+					buf, err := json.MarshalIndent(res, "", "  ")
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res, buf
+				}
+
+				serial, want := run(1)
+				for _, workers := range []int{2, 4, 8} {
+					par, got := run(workers)
+					if !bytes.Equal(want, got) {
+						t.Errorf("workers=%d diverges from serial:\n%s",
+							workers, firstDiff(want, got))
+					}
+					if par.EventsFired != serial.EventsFired {
+						t.Errorf("workers=%d: EventsFired %d, serial %d",
+							workers, par.EventsFired, serial.EventsFired)
+					}
+				}
+			})
+		}
+	}
+}
+
+// firstDiff renders the neighbourhood of the first byte where a and b
+// disagree, which localizes a divergence inside a large JSON export.
+func firstDiff(a, b []byte) string {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	lo := i - 200
+	if lo < 0 {
+		lo = 0
+	}
+	end := func(s []byte) int {
+		if i+200 < len(s) {
+			return i + 200
+		}
+		return len(s)
+	}
+	return fmt.Sprintf("first divergence at byte %d\nserial: ...%s...\nparallel: ...%s...",
+		i, a[lo:end(a)], b[lo:end(b)])
+}

@@ -2,6 +2,7 @@ package camps_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -39,7 +40,7 @@ func traceGoldenRun() (camps.RunConfig, *obs.Suite) {
 func TestChromeTraceGolden(t *testing.T) {
 	export := func() []byte {
 		rc, suite := traceGoldenRun()
-		if _, err := camps.Run(rc); err != nil {
+		if _, err := camps.RunContext(context.Background(), rc); err != nil {
 			t.Fatal(err)
 		}
 		var buf bytes.Buffer
